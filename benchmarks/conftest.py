@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper's
+evaluation at ``BENCH_SCALE`` (a laptop-sized configuration).  The same
+experiment functions accept ``repro.runtime.PAPER_SCALE`` for runs closer to
+the paper's deployment; see EXPERIMENTS.md for the recorded comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import ExperimentScale
+
+#: Scale used by the benchmark suite: small enough for CI, large enough that
+#: the qualitative shapes (who wins, where the crossovers are) are visible.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    f=2,
+    f_values=(1, 2),
+    num_clients=240,
+    client_values=(60, 240),
+    batch_size=20,
+    batch_values=(5, 20, 80),
+    warmup_batches=3,
+    measured_batches=12,
+    regions_max=4,
+    wan_f=1,
+    tc_latencies_ms=(0.025, 2.5, 10.0),
+    protocols=("pbft", "pbft-ea", "minbft", "minzz", "flexi-bft", "flexi-zz"),
+    core_protocols=("pbft", "minbft", "minzz", "flexi-bft", "flexi-zz"),
+    worker_threads=8,
+    max_sim_seconds=40.0,
+)
+
+
+def throughput_by_protocol(rows: list[dict], key: str = "throughput_tx_s",
+                           **filters) -> dict[str, float]:
+    """Index rows by protocol after applying equality filters on columns."""
+    result: dict[str, float] = {}
+    for row in rows:
+        if all(row.get(k) == v for k, v in filters.items()):
+            result[row["protocol"]] = max(result.get(row["protocol"], 0.0), row[key])
+    return result
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return BENCH_SCALE

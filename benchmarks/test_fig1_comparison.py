@@ -1,0 +1,17 @@
+"""Figure 1: qualitative comparison of trust-bft and FlexiTrust protocols."""
+
+from repro.core.analysis import figure1_table, format_table
+
+
+def test_fig1_comparison_table(benchmark):
+    rows = benchmark(figure1_table, True)
+    print("\n" + format_table(rows))
+    by_name = {row.protocol: row for row in rows}
+    # FlexiTrust protocols are the only trusted-component protocols that keep
+    # bft liveness, support out-of-order consensus and need the trusted
+    # component only at the primary.
+    for name, row in by_name.items():
+        if name in ("Flexi-BFT", "Flexi-ZZ"):
+            assert row.bft_liveness and row.out_of_order and row.only_primary_tc
+        elif row.trusted_abstraction != "none":
+            assert not (row.bft_liveness and row.out_of_order and row.only_primary_tc)

@@ -1,0 +1,26 @@
+"""Figure 2 / Section 5: responsiveness attack on MinBFT versus Pbft."""
+
+from repro.core.attacks import run_responsiveness_attack
+
+
+def test_fig2_minbft_loses_responsiveness(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_responsiveness_attack("minbft", f=2, duration_s=2.0),
+        rounds=1, iterations=1)
+    print(f"\nMinBFT: client completed={report.client_completed}, "
+          f"honest replicas executed={report.honest_replicas_executed}, "
+          f"view changes completed={report.view_changes_completed}")
+    assert not report.client_completed
+    assert report.honest_replicas_executed == 1
+    assert report.view_changes_completed == 0
+
+
+def test_fig2_pbft_stays_responsive(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_responsiveness_attack("pbft", f=2, duration_s=2.0),
+        rounds=1, iterations=1)
+    print(f"\nPbft: client completed={report.client_completed}, "
+          f"honest replicas executed={report.honest_replicas_executed}, "
+          f"view changes completed={report.view_changes_completed}")
+    assert report.client_completed
+    assert report.honest_replicas_executed >= report.f + 1

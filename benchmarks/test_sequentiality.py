@@ -1,0 +1,19 @@
+"""Section 7: sequential consensus demonstration and throughput bound."""
+
+from repro.core.attacks import run_sequentiality_demo, sequential_throughput_bound
+
+
+def test_sequentiality_demo(benchmark):
+    report = benchmark(run_sequentiality_demo)
+    print(f"\nout-of-order Append rejected: {report.out_of_order_rejected}; "
+          f"sequential bound {report.sequential_bound_tx_s:.0f} tx/s vs "
+          f"parallel estimate {report.parallel_estimate_tx_s:.0f} tx/s")
+    assert report.out_of_order_rejected
+    assert report.parallel_speedup > 1.0
+
+
+def test_throughput_bound_matches_paper_back_of_envelope(benchmark):
+    # Section 9.9: at 10 ms access latency, throughput degrades to
+    # batch size x 1 s / 10 ms = 10 k tx/s for a batch of 100.
+    bound = benchmark(sequential_throughput_bound, 100, 1, 10_000.0)
+    assert round(bound) == 10_000

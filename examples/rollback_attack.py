@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Section 6: rollback attack on trusted counters.
+
+A byzantine MinBFT primary serves transaction T to one honest replica, rolls
+its (volatile) trusted counter back, and serves a conflicting transaction T'
+to the other honest replica at the same sequence number.  Both client
+observations reach f + 1 matching replies, yet the two honest replicas have
+executed different transactions at sequence 1 — a consensus-safety violation.
+Re-running the attack against persistent hardware (SGX persistent counters or
+a TPM) shows the rollback being refused and safety holding.
+
+Run with:  python examples/rollback_attack.py
+"""
+
+from repro.common.config import SGX_ENCLAVE_COUNTER, SGX_PERSISTENT_COUNTER, TPM_COUNTER
+from repro.core.attacks import run_rollback_attack
+
+
+def describe(hardware) -> None:
+    report = run_rollback_attack(hardware)
+    print(f"\n--- trusted hardware: {report.hardware} "
+          f"(persistent = {hardware.persistent}) ---")
+    print(f"rollback possible                  : {report.rollback_succeeded}")
+    print(f"consensus safety violated          : {report.safety_violated}")
+    print(f"distinct batches executed at seq 1 : {report.conflicting_digests_at_seq1}")
+    print(f"replies for T / for T'             : {report.responses_for_first} / "
+          f"{report.responses_for_second}")
+    for violation in report.violations:
+        print(f"violation: {violation}")
+
+
+def main() -> None:
+    print("Rollback attack on MinBFT (Section 6)")
+    describe(SGX_ENCLAVE_COUNTER)
+    describe(SGX_PERSISTENT_COUNTER)
+    describe(TPM_COUNTER)
+    print("\nVolatile enclave counters let the host replay an old counter state")
+    print("and equivocate; persistent counters and TPMs refuse, at the price of")
+    print("millisecond-scale access latencies (see the Figure 8 benchmark).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools shim so the package installs in environments without PEP 660 support."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""repro — reproduction of "Dissecting BFT Consensus: In Trusted Components we Trust!"
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.crypto`, :mod:`repro.trusted`,
+  :mod:`repro.execution`, :mod:`repro.workload` — the substrates (event kernel,
+  network, crypto, trusted components, state machine, YCSB clients).
+* :mod:`repro.protocols` — the ten consensus protocols of the evaluation.
+* :mod:`repro.core` — the paper's contribution: the FlexiTrust transformation,
+  the Figure 1 analysis, and the Section 5–7 attack scenarios.
+* :mod:`repro.runtime` — deployments, metrics, and the per-figure experiments.
+
+Quickstart::
+
+    from repro import DeploymentConfig, Deployment
+
+    config = DeploymentConfig(protocol="flexi-zz", f=1)
+    result = Deployment(config).run_until_target(target_requests=200)
+    print(result.metrics.throughput_tx_s)
+"""
+
+from .common import (
+    CryptoCostModel,
+    DeploymentConfig,
+    ExperimentConfig,
+    FaultConfig,
+    HARDWARE_PRESETS,
+    NetworkConfig,
+    ProtocolConfig,
+    SGX_ENCLAVE_COUNTER,
+    SGX_PERSISTENT_COUNTER,
+    TPM_COUNTER,
+    TrustedHardwareSpec,
+    WorkloadConfig,
+)
+from .core import (
+    compare_responsiveness,
+    compare_rollback_hardware,
+    figure1_table,
+    run_responsiveness_attack,
+    run_rollback_attack,
+    run_sequentiality_demo,
+    transform,
+)
+from .protocols import PROTOCOLS, get_protocol, protocol_names
+from .runtime import (
+    Deployment,
+    ExperimentScale,
+    PAPER_SCALE,
+    RunResult,
+    SMALL_SCALE,
+    build_deployment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CryptoCostModel",
+    "Deployment",
+    "DeploymentConfig",
+    "ExperimentConfig",
+    "ExperimentScale",
+    "FaultConfig",
+    "HARDWARE_PRESETS",
+    "NetworkConfig",
+    "PAPER_SCALE",
+    "PROTOCOLS",
+    "ProtocolConfig",
+    "RunResult",
+    "SGX_ENCLAVE_COUNTER",
+    "SGX_PERSISTENT_COUNTER",
+    "SMALL_SCALE",
+    "TPM_COUNTER",
+    "TrustedHardwareSpec",
+    "WorkloadConfig",
+    "__version__",
+    "build_deployment",
+    "compare_responsiveness",
+    "compare_rollback_hardware",
+    "figure1_table",
+    "get_protocol",
+    "protocol_names",
+    "run_responsiveness_attack",
+    "run_rollback_attack",
+    "run_sequentiality_demo",
+    "transform",
+]

@@ -1,0 +1,75 @@
+"""Exception hierarchy for the reproduction library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without catching unrelated bugs.  The sub-classes
+mirror the layers of the system: configuration, simulation, cryptography,
+trusted hardware, protocol logic and safety violations detected at runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic check failed (bad signature, MAC, or unknown key)."""
+
+
+class InvalidSignature(CryptoError):
+    """A digital signature did not verify."""
+
+
+class InvalidMac(CryptoError):
+    """A message authentication code did not verify."""
+
+
+class UnknownKey(CryptoError):
+    """A signer or verifier was requested for an unregistered identity."""
+
+
+class TrustedComponentError(ReproError):
+    """A trusted component rejected an operation."""
+
+
+class CounterRegression(TrustedComponentError):
+    """An ``Append`` tried to move a monotonic counter backwards."""
+
+
+class SlotOccupied(TrustedComponentError):
+    """An append-only log slot already holds a different value."""
+
+
+class InvalidAttestation(TrustedComponentError):
+    """An attestation failed verification against the component's key."""
+
+
+class ProtocolError(ReproError):
+    """A replica received a message it cannot process in its current state."""
+
+
+class ViewChangeError(ProtocolError):
+    """A view-change message or NewView certificate is malformed."""
+
+
+class SafetyViolation(ReproError):
+    """The safety monitor observed two honest replicas disagreeing.
+
+    Raised (or recorded, depending on the monitor's mode) when two honest
+    replicas execute different transactions at the same sequence number — the
+    Consensus Safety property of Section 2 — or when the RSM outputs diverge.
+    The rollback-attack experiment of Section 6 relies on this being detected.
+    """
+
+
+class LivenessViolation(ReproError):
+    """An operation that should have completed did not within its deadline."""

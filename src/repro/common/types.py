@@ -1,0 +1,114 @@
+"""Fundamental identifiers and enumerations shared across the library.
+
+The paper's system model (Section 2) talks about a replicated service ``S``
+with ``n`` replicas of which ``f`` may be byzantine, a set of clients, views
+led by a primary, and sequence numbers assigned to transactions.  The aliases
+and enums in this module give those concepts concrete, typed names so that the
+rest of the code base reads close to the paper's notation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+# A replica is identified by a small non-negative integer, exactly like the
+# paper's "replica with identifier i" used for round-robin primary rotation.
+ReplicaId = int
+
+# Clients are identified by strings such as ``"client-17"`` so that replica and
+# client identifier spaces can never collide.
+ClientId = str
+
+# Sequence numbers, views and counter values are plain integers.
+SeqNum = int
+ViewNum = int
+CounterValue = int
+
+# Simulated time is measured in microseconds (floats).  Microseconds keep the
+# crypto cost model (fractions of a microsecond per MAC) and the trusted
+# hardware latencies (tens of milliseconds for TPMs) in a comfortable range.
+Micros = float
+
+MICROS_PER_MS = 1_000.0
+MICROS_PER_SECOND = 1_000_000.0
+
+
+def ms(value: float) -> Micros:
+    """Convert milliseconds to simulated microseconds."""
+    return value * MICROS_PER_MS
+
+
+def seconds(value: float) -> Micros:
+    """Convert seconds to simulated microseconds."""
+    return value * MICROS_PER_SECOND
+
+
+class FaultKind(enum.Enum):
+    """How a replica misbehaves, if at all.
+
+    ``HONEST`` replicas follow their protocol.  ``CRASHED`` replicas stop
+    sending or processing messages.  ``BYZANTINE`` replicas are driven by an
+    adversary strategy object that may equivocate, selectively send messages,
+    or roll back their trusted component (when the hardware model allows it).
+    """
+
+    HONEST = "honest"
+    CRASHED = "crashed"
+    BYZANTINE = "byzantine"
+
+
+class TrustedAbstraction(enum.Enum):
+    """The trusted-component abstraction a protocol relies on (Figure 1)."""
+
+    NONE = "none"
+    COUNTER = "counter"
+    LOG = "log"
+    COUNTER_AND_LOG = "counter+log"
+
+
+class ReplicationRegime(enum.Enum):
+    """Replication factor family a protocol belongs to (2f+1 vs 3f+1)."""
+
+    TWO_F_PLUS_ONE = "2f+1"
+    THREE_F_PLUS_ONE = "3f+1"
+
+
+class ConsensusMode(enum.Enum):
+    """Whether a protocol can run consensus instances concurrently."""
+
+    SEQUENTIAL = "sequential"
+    PARALLEL = "parallel"
+
+
+@dataclass(frozen=True)
+class RequestId:
+    """Globally unique identifier of a client request.
+
+    Clients number their own requests; the pair (client, client-local number)
+    uniquely identifies a transaction across the whole deployment and is what
+    replicas use for reply deduplication.
+    """
+
+    client: ClientId
+    number: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.client}#{self.number}"
+
+
+def quorum_2f_plus_1(f: int) -> int:
+    """Size of the large quorum used by bft / FlexiTrust protocols."""
+    return 2 * f + 1
+
+
+def quorum_f_plus_1(f: int) -> int:
+    """Size of the small quorum used by 2f+1 trust-bft protocols."""
+    return f + 1
+
+
+def replicas_for(regime: ReplicationRegime, f: int) -> int:
+    """Number of replicas a protocol deploys for a given fault threshold."""
+    if regime is ReplicationRegime.TWO_F_PLUS_ONE:
+        return 2 * f + 1
+    return 3 * f + 1

@@ -1,0 +1,49 @@
+"""The paper's core contribution: analysis, attacks, and the FlexiTrust recipe."""
+
+from .analysis import ComparisonRow, comparison_row, figure1_table, format_table
+from .attacks import (
+    ResponsivenessReport,
+    RollbackReport,
+    SequentialityReport,
+    compare_responsiveness,
+    compare_rollback_hardware,
+    run_responsiveness_attack,
+    run_rollback_attack,
+    run_sequentiality_demo,
+    sequential_throughput_bound,
+)
+from .flexitrust import (
+    Transformation,
+    TransformationStep,
+    expected_speedup,
+    transform,
+    transformable_protocols,
+    trusted_accesses_per_batch,
+)
+from .instrumented import FIGURE5_BARS, InstrumentedPbftReplica, TrustedUsage, instrumented_pbft_factory
+
+__all__ = [
+    "ComparisonRow",
+    "FIGURE5_BARS",
+    "InstrumentedPbftReplica",
+    "ResponsivenessReport",
+    "RollbackReport",
+    "SequentialityReport",
+    "Transformation",
+    "TransformationStep",
+    "TrustedUsage",
+    "comparison_row",
+    "compare_responsiveness",
+    "compare_rollback_hardware",
+    "expected_speedup",
+    "figure1_table",
+    "format_table",
+    "instrumented_pbft_factory",
+    "run_responsiveness_attack",
+    "run_rollback_attack",
+    "run_sequentiality_demo",
+    "sequential_throughput_bound",
+    "transform",
+    "transformable_protocols",
+    "trusted_accesses_per_batch",
+]

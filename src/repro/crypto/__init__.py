@@ -1,0 +1,20 @@
+"""Cryptographic primitives: digests, simulated signatures, MACs, key store."""
+
+from .digest import canonical_bytes, combine_digests, digest, digest_hex, DIGEST_SIZE
+from .keystore import KeyStore, KeyStoreVerifier
+from .signatures import Mac, MacKey, Signature, SigningKey, verify_with_key
+
+__all__ = [
+    "DIGEST_SIZE",
+    "KeyStore",
+    "KeyStoreVerifier",
+    "Mac",
+    "MacKey",
+    "Signature",
+    "SigningKey",
+    "canonical_bytes",
+    "combine_digests",
+    "digest",
+    "digest_hex",
+    "verify_with_key",
+]

@@ -1,0 +1,96 @@
+"""Canonical serialisation and SHA-256 digests.
+
+Replicas agree on *digests* of client transactions (the paper writes
+``Δ := Hash(⟨T⟩c)``), so every message that mentions a transaction carries a
+deterministic, collision-resistant fingerprint rather than the payload.  The
+helpers here turn arbitrary plain-data Python values into a canonical byte
+string first, so that logically equal values always hash to the same digest
+regardless of dict insertion order or container type.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+DIGEST_SIZE = 32
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Encode ``value`` into a canonical byte string.
+
+    Supports the plain-data types used throughout the library: ``None``,
+    booleans, integers, floats, strings, bytes, (frozen) dataclasses, and
+    lists/tuples/dicts/sets of those.  Dataclasses are encoded as their class
+    name plus each field in declaration order; dicts and sets are encoded in
+    sorted-key order so insertion order never leaks into digests.
+    """
+    out = bytearray()
+    _encode(value, out)
+    return bytes(out)
+
+
+def _encode(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        encoded = str(value).encode()
+        out += b"i%d:" % len(encoded) + encoded
+    elif isinstance(value, float):
+        encoded = repr(value).encode()
+        out += b"f%d:" % len(encoded) + encoded
+    elif isinstance(value, str):
+        encoded = value.encode()
+        out += b"s%d:" % len(encoded) + encoded
+    elif isinstance(value, (bytes, bytearray)):
+        out += b"b%d:" % len(value) + bytes(value)
+    elif is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__.encode()
+        out += b"D%d:" % len(name) + name
+        for f in fields(value):
+            _encode(f.name, out)
+            _encode(getattr(value, f.name), out)
+        out += b"d"
+    elif isinstance(value, dict):
+        out += b"M"
+        for key in sorted(value, key=_sort_key):
+            _encode(key, out)
+            _encode(value[key], out)
+        out += b"m"
+    elif isinstance(value, (list, tuple)):
+        out += b"L"
+        for item in value:
+            _encode(item, out)
+        out += b"l"
+    elif isinstance(value, (set, frozenset)):
+        out += b"S"
+        for item in sorted(value, key=_sort_key):
+            _encode(item, out)
+        out += b"s"
+    else:
+        raise TypeError(f"cannot canonically encode values of type {type(value)!r}")
+
+
+def _sort_key(value: Any) -> tuple[str, str]:
+    return (type(value).__name__, repr(value))
+
+
+def digest(value: Any) -> bytes:
+    """SHA-256 digest of the canonical encoding of ``value``."""
+    return hashlib.sha256(canonical_bytes(value)).digest()
+
+
+def digest_hex(value: Any) -> str:
+    """Hex form of :func:`digest`, convenient for logs and test assertions."""
+    return digest(value).hex()
+
+
+def combine_digests(*digests: bytes) -> bytes:
+    """Hash a sequence of digests into one (used for batch digests)."""
+    h = hashlib.sha256()
+    for d in digests:
+        h.update(d)
+    return h.digest()

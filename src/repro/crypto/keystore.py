@@ -1,0 +1,118 @@
+"""Key management for a deployment.
+
+One :class:`KeyStore` is created per deployment.  It derives, from a single
+seed, a signing key for every replica, client and trusted component, plus
+pairwise MAC keys for authenticated channels.  Replica code receives only its
+*own* signing key and the store's verify-only surface, which is how the
+"byzantine replicas can impersonate each other but not honest replicas"
+assumption of Section 2 is enforced in the simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Iterable
+
+from ..common.errors import UnknownKey
+from .signatures import Mac, MacKey, Signature, SigningKey, verify_with_key
+
+
+def _derive(seed: int, *parts: str) -> bytes:
+    material = "/".join((str(seed),) + parts).encode()
+    return hashlib.sha256(material).digest()
+
+
+class KeyStore:
+    """Holds every secret in the deployment and verifies on behalf of all."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._signing: dict[str, SigningKey] = {}
+        self._macs: dict[tuple[str, str], MacKey] = {}
+
+    # ------------------------------------------------------------------ setup
+    def register(self, identity: str) -> SigningKey:
+        """Create (or return) the signing key for ``identity``."""
+        if identity not in self._signing:
+            secret = _derive(self._seed, "sign", identity)
+            self._signing[identity] = SigningKey(identity, secret)
+        return self._signing[identity]
+
+    def register_all(self, identities: Iterable[str]) -> None:
+        """Register a batch of identities."""
+        for identity in identities:
+            self.register(identity)
+
+    def signing_key(self, identity: str) -> SigningKey:
+        """Return the signing key for ``identity`` (must be registered)."""
+        try:
+            return self._signing[identity]
+        except KeyError:
+            raise UnknownKey(f"no signing key registered for {identity!r}") from None
+
+    def identities(self) -> list[str]:
+        """All registered identities, sorted for reproducibility."""
+        return sorted(self._signing)
+
+    # ------------------------------------------------------------ signatures
+    def sign(self, identity: str, message: Any) -> Signature:
+        """Sign ``message`` as ``identity`` (must be registered)."""
+        return self.signing_key(identity).sign(message)
+
+    def verify(self, message: Any, signature: Signature) -> None:
+        """Verify a signature; raises on unknown signer or mismatch."""
+        key = self.signing_key(signature.signer)
+        verify_with_key(key, message, signature)
+
+    def is_valid(self, message: Any, signature: Signature) -> bool:
+        """Boolean form of :meth:`verify` for callers that prefer not to raise."""
+        try:
+            self.verify(message, signature)
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ MACs
+    def mac_key(self, sender: str, receiver: str) -> MacKey:
+        """Shared MAC key for the ordered channel ``sender -> receiver``."""
+        pair = (sender, receiver)
+        if pair not in self._macs:
+            # The channel secret is symmetric in the two endpoints so that
+            # either side can authenticate to the other, like a shared CMAC key.
+            lo, hi = sorted(pair)
+            secret = _derive(self._seed, "mac", lo, hi)
+            self._macs[pair] = MacKey(sender, receiver, secret)
+        return self._macs[pair]
+
+    def mac(self, sender: str, receiver: str, message: Any) -> Mac:
+        """Authenticate ``message`` on the channel ``sender -> receiver``."""
+        return self.mac_key(sender, receiver).generate(message)
+
+    def verify_mac(self, message: Any, mac: Mac) -> None:
+        """Verify a channel MAC; raises :class:`InvalidMac` on mismatch."""
+        self.mac_key(mac.sender, mac.receiver).verify(message, mac)
+
+    # ------------------------------------------------------------- utilities
+    def verifier(self) -> "KeyStoreVerifier":
+        """A verify-only view safe to hand to replica and adversary code."""
+        return KeyStoreVerifier(self)
+
+
+class KeyStoreVerifier:
+    """Verify-only facade over a :class:`KeyStore`.
+
+    Byzantine strategies receive this object (plus the signing keys of the
+    replicas they control), so they can check any signature but forge none.
+    """
+
+    def __init__(self, store: KeyStore) -> None:
+        self._store = store
+
+    def verify(self, message: Any, signature: Signature) -> None:
+        self._store.verify(message, signature)
+
+    def is_valid(self, message: Any, signature: Signature) -> bool:
+        return self._store.is_valid(message, signature)
+
+    def verify_mac(self, message: Any, mac: Mac) -> None:
+        self._store.verify_mac(message, mac)

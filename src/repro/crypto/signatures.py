@@ -1,0 +1,111 @@
+"""Simulated digital signatures and MACs.
+
+ResilientDB uses ED25519 signatures and CMAC message authentication codes
+(Section 9.1).  Reimplementing elliptic-curve cryptography is outside the
+scope of this reproduction, so signatures here are HMAC-SHA256 values keyed by
+a per-identity secret.  What matters for the protocols is preserved:
+
+* a signature/MAC over a message verifies if and only if it was produced over
+  exactly that message with the signer's secret;
+* code that does not hold an identity's :class:`SigningKey` cannot forge its
+  signatures (the adversary hooks in this library only ever receive the keys
+  of the replicas they control);
+* every generate/verify operation has a CPU cost charged to the simulated
+  clock by the replica runtime via :class:`~repro.common.config.CryptoCostModel`.
+
+The asymmetry of real signatures (anyone can verify, only the owner can sign)
+is modelled by routing verification through the deployment's
+:class:`~repro.crypto.keystore.KeyStore`, which owns all secrets and exposes a
+verify-only API.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.errors import InvalidMac, InvalidSignature
+from .digest import canonical_bytes
+
+_SIG_TAG = b"repro-ds-v1"
+_MAC_TAG = b"repro-mac-v1"
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A digital signature: the signer's identity plus the HMAC value."""
+
+    signer: str
+    value: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Signature({self.signer}, {self.value.hex()[:12]}…)"
+
+
+@dataclass(frozen=True)
+class Mac:
+    """A pairwise message authentication code."""
+
+    sender: str
+    receiver: str
+    value: bytes
+
+
+class SigningKey:
+    """Secret signing key for one identity."""
+
+    def __init__(self, identity: str, secret: bytes) -> None:
+        self.identity = identity
+        self._secret = secret
+
+    def sign(self, message: Any) -> Signature:
+        """Sign the canonical encoding of ``message``."""
+        value = hmac.new(self._secret, _SIG_TAG + canonical_bytes(message),
+                         hashlib.sha256).digest()
+        return Signature(signer=self.identity, value=value)
+
+    def _verify(self, message: Any, signature: Signature) -> bool:
+        expected = hmac.new(self._secret, _SIG_TAG + canonical_bytes(message),
+                            hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.value)
+
+
+class MacKey:
+    """Shared secret between an ordered pair of identities."""
+
+    def __init__(self, sender: str, receiver: str, secret: bytes) -> None:
+        self.sender = sender
+        self.receiver = receiver
+        self._secret = secret
+
+    def generate(self, message: Any) -> Mac:
+        """Authenticate ``message`` from ``sender`` to ``receiver``."""
+        value = hmac.new(self._secret, _MAC_TAG + canonical_bytes(message),
+                         hashlib.sha256).digest()
+        return Mac(sender=self.sender, receiver=self.receiver, value=value)
+
+    def verify(self, message: Any, mac: Mac) -> None:
+        """Raise :class:`InvalidMac` unless ``mac`` authenticates ``message``."""
+        expected = hmac.new(self._secret, _MAC_TAG + canonical_bytes(message),
+                            hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, mac.value):
+            raise InvalidMac(
+                f"MAC from {mac.sender} to {mac.receiver} failed verification")
+
+
+def verify_with_key(key: SigningKey, message: Any, signature: Signature) -> None:
+    """Verify ``signature`` over ``message`` using the signer's key material.
+
+    Raises :class:`InvalidSignature` on mismatch (wrong signer or altered
+    message).  Library code should normally call
+    :meth:`repro.crypto.keystore.KeyStore.verify` instead; this low-level
+    helper exists for the key store and for tests.
+    """
+    if signature.signer != key.identity:
+        raise InvalidSignature(
+            f"signature claims signer {signature.signer!r} but key belongs to "
+            f"{key.identity!r}")
+    if not key._verify(message, signature):
+        raise InvalidSignature(f"signature by {signature.signer!r} does not verify")

@@ -1,0 +1,18 @@
+"""Replicated state machine, ledger and safety monitoring."""
+
+from .kvstore import KeyValueStore
+from .ledger import ExecutedBatch, Ledger
+from .safety import ExecutionRecord, SafetyMonitor, Violation
+from .state_machine import Operation, OperationResult, StateMachine
+
+__all__ = [
+    "ExecutedBatch",
+    "ExecutionRecord",
+    "KeyValueStore",
+    "Ledger",
+    "Operation",
+    "OperationResult",
+    "SafetyMonitor",
+    "StateMachine",
+    "Violation",
+]

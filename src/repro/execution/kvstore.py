@@ -1,0 +1,94 @@
+"""YCSB-style key-value store used as the replicated application.
+
+The paper's evaluation runs YCSB over a 600 k-record store (Section 9.2).
+This module provides the deterministic key-value state machine those
+operations run against: ``read``, ``write`` (a.k.a. update), ``insert`` and
+``read-modify-write``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+from .state_machine import Operation, OperationResult, StateMachine
+
+
+class KeyValueStore(StateMachine):
+    """In-memory deterministic key-value store."""
+
+    SUPPORTED_ACTIONS = ("read", "write", "insert", "rmw", "delete")
+
+    def __init__(self, records: int = 0, value_size: int = 16) -> None:
+        self._data: dict[str, str] = {}
+        self._applied = 0
+        if records:
+            self.preload(records, value_size)
+
+    # ------------------------------------------------------------- loading
+    def preload(self, records: int, value_size: int = 16) -> None:
+        """Populate ``records`` keys with deterministic initial values."""
+        for index in range(records):
+            key = f"user{index}"
+            self._data[key] = _initial_value(key, value_size)
+
+    # --------------------------------------------------------- application
+    def apply(self, operation: Operation) -> OperationResult:
+        """Apply one YCSB operation; unknown actions fail deterministically."""
+        self._applied += 1
+        action = operation.action
+        if action == "read":
+            value = self._data.get(operation.key)
+            if value is None:
+                return OperationResult(ok=False)
+            return OperationResult(ok=True, value=value)
+        if action in ("write", "insert"):
+            self._data[operation.key] = operation.value
+            return OperationResult(ok=True)
+        if action == "rmw":
+            current = self._data.get(operation.key, "")
+            updated = _merge(current, operation.value)
+            self._data[operation.key] = updated
+            return OperationResult(ok=True, value=updated)
+        if action == "delete":
+            existed = self._data.pop(operation.key, None) is not None
+            return OperationResult(ok=existed)
+        return OperationResult(ok=False, value=f"unknown action {action!r}")
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: str) -> str | None:
+        """Direct read used by tests; not part of the replicated interface."""
+        return self._data.get(key)
+
+    @property
+    def operations_applied(self) -> int:
+        """Number of operations applied since construction."""
+        return self._applied
+
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self) -> Any:
+        return dict(self._data)
+
+    def restore(self, snapshot: Any) -> None:
+        self._data = dict(snapshot)
+
+    def state_digest(self) -> bytes:
+        h = hashlib.sha256()
+        for key in sorted(self._data):
+            h.update(key.encode())
+            h.update(b"=")
+            h.update(self._data[key].encode())
+            h.update(b";")
+        return h.digest()
+
+
+def _initial_value(key: str, value_size: int) -> str:
+    seed = hashlib.sha256(key.encode()).hexdigest()
+    return (seed * (value_size // len(seed) + 1))[:value_size]
+
+
+def _merge(current: str, update: str) -> str:
+    return hashlib.sha256((current + update).encode()).hexdigest()[:max(len(update), 8)]

@@ -1,0 +1,26 @@
+"""Network substrate: topology, transport and adversarial message control."""
+
+from .network import (
+    Envelope,
+    MessageRule,
+    Network,
+    NetworkNode,
+    NetworkStats,
+    delay_matching,
+    drop_all_from,
+)
+from .topology import PAPER_REGIONS, Topology, build_topology, region_latency_us
+
+__all__ = [
+    "Envelope",
+    "MessageRule",
+    "Network",
+    "NetworkNode",
+    "NetworkStats",
+    "PAPER_REGIONS",
+    "Topology",
+    "build_topology",
+    "delay_matching",
+    "drop_all_from",
+    "region_latency_us",
+]

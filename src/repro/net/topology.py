@@ -1,0 +1,94 @@
+"""Geographic topology and latency matrix.
+
+The paper's WAN experiment (Section 9.7) spreads replicas across six regions —
+San Jose, Ashburn, Sydney, Sao Paulo, Montreal and Marseille — assigned in
+that order.  The round-trip numbers below are representative public-cloud
+inter-region latencies; the experiment only relies on the qualitative split
+between "nearby North-American quorum" and "far regions", which these values
+preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.errors import ConfigurationError
+from ..common.types import Micros, ms
+
+#: The six regions in the order the paper uses them.
+PAPER_REGIONS: tuple[str, ...] = (
+    "san-jose", "ashburn", "sydney", "sao-paulo", "montreal", "marseille")
+
+#: One-way latencies between regions in milliseconds (symmetric).
+_ONE_WAY_MS: dict[frozenset[str], float] = {
+    frozenset({"san-jose", "ashburn"}): 31.0,
+    frozenset({"san-jose", "sydney"}): 74.0,
+    frozenset({"san-jose", "sao-paulo"}): 97.0,
+    frozenset({"san-jose", "montreal"}): 38.0,
+    frozenset({"san-jose", "marseille"}): 75.0,
+    frozenset({"ashburn", "sydney"}): 101.0,
+    frozenset({"ashburn", "sao-paulo"}): 62.0,
+    frozenset({"ashburn", "montreal"}): 8.0,
+    frozenset({"ashburn", "marseille"}): 42.0,
+    frozenset({"sydney", "sao-paulo"}): 158.0,
+    frozenset({"sydney", "montreal"}): 105.0,
+    frozenset({"sydney", "marseille"}): 140.0,
+    frozenset({"sao-paulo", "montreal"}): 65.0,
+    frozenset({"sao-paulo", "marseille"}): 98.0,
+    frozenset({"montreal", "marseille"}): 44.0,
+}
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Assignment of node identities to regions plus the latency matrix."""
+
+    regions: tuple[str, ...]
+    assignment: dict[str, str]
+    intra_region_latency_us: Micros
+
+    def region_of(self, node: str) -> str:
+        """Region hosting ``node``; unknown nodes live in the first region."""
+        return self.assignment.get(node, self.regions[0])
+
+    def latency_us(self, src: str, dst: str) -> Micros:
+        """One-way latency between two nodes."""
+        region_a = self.region_of(src)
+        region_b = self.region_of(dst)
+        if region_a == region_b:
+            return self.intra_region_latency_us
+        return region_latency_us(region_a, region_b)
+
+
+def region_latency_us(region_a: str, region_b: str) -> Micros:
+    """One-way latency between two named regions."""
+    if region_a == region_b:
+        return ms(0.12)
+    key = frozenset({region_a, region_b})
+    if key not in _ONE_WAY_MS:
+        raise ConfigurationError(f"unknown region pair {region_a!r}/{region_b!r}")
+    return ms(_ONE_WAY_MS[key])
+
+
+def build_topology(replica_names: list[str], client_names: list[str],
+                   region_names: tuple[str, ...],
+                   intra_region_latency_us: Micros) -> Topology:
+    """Round-robin replicas over ``region_names``; clients go to region 0.
+
+    Mirrors the paper's "use the regions in this order" placement: replica
+    ``i`` lands in region ``i mod len(region_names)``.  Clients are co-located
+    with the first region, which is also where the initial primary lives.
+    """
+    if not region_names:
+        raise ConfigurationError("at least one region is required")
+    for region in region_names:
+        if region not in PAPER_REGIONS:
+            raise ConfigurationError(
+                f"unknown region {region!r}; choose among {PAPER_REGIONS}")
+    assignment: dict[str, str] = {}
+    for index, name in enumerate(replica_names):
+        assignment[name] = region_names[index % len(region_names)]
+    for name in client_names:
+        assignment[name] = region_names[0]
+    return Topology(regions=tuple(region_names), assignment=assignment,
+                    intra_region_latency_us=intra_region_latency_us)

@@ -1,0 +1,73 @@
+"""Consensus protocol implementations and the protocol registry."""
+
+from .base import BaseReplica, Instance, ReplicaContext, ReplicaStats
+from .messages import (
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    CommitAck,
+    CommitCertificate,
+    NewView,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    RequestBatch,
+    ResendRequest,
+    Response,
+    ViewChange,
+    noop_batch,
+)
+from .registry import (
+    BFT_PROTOCOLS,
+    FLEXITRUST_PROTOCOLS,
+    PROTOCOLS,
+    ProtocolSpec,
+    ReplyPolicy,
+    TRUST_BFT_PROTOCOLS,
+    get_protocol,
+    protocol_names,
+)
+from .flexibft import FlexiBftReplica
+from .flexizz import FlexiZzReplica
+from .minbft import MinBftReplica
+from .minzz import MinZzReplica
+from .pbft import PbftReplica
+from .pbft_ea import OpbftEaReplica, PbftEaReplica
+from .zyzzyva import ZyzzyvaReplica
+
+__all__ = [
+    "BFT_PROTOCOLS",
+    "BaseReplica",
+    "Checkpoint",
+    "ClientRequest",
+    "Commit",
+    "CommitAck",
+    "CommitCertificate",
+    "FLEXITRUST_PROTOCOLS",
+    "FlexiBftReplica",
+    "FlexiZzReplica",
+    "Instance",
+    "MinBftReplica",
+    "MinZzReplica",
+    "NewView",
+    "OpbftEaReplica",
+    "PROTOCOLS",
+    "PbftEaReplica",
+    "PbftReplica",
+    "PrePrepare",
+    "Prepare",
+    "PreparedProof",
+    "ProtocolSpec",
+    "ReplicaContext",
+    "ReplicaStats",
+    "ReplyPolicy",
+    "RequestBatch",
+    "ResendRequest",
+    "Response",
+    "TRUST_BFT_PROTOCOLS",
+    "ViewChange",
+    "ZyzzyvaReplica",
+    "get_protocol",
+    "noop_batch",
+    "protocol_names",
+]

@@ -1,0 +1,803 @@
+"""Shared replica runtime for every consensus protocol in the library.
+
+:class:`BaseReplica` implements everything the protocols have in common —
+message delivery and cost accounting, request batching at the primary,
+in-order execution, client replies, checkpointing, and a Pbft-style
+view-change — so that each protocol module only encodes its *phases* and its
+*quorum rules*, which is where the paper's protocols actually differ.
+
+Timing model
+------------
+
+A replica charges simulated time in three places:
+
+1. **Inbound verification** — every delivered message occupies one worker for
+   its verification cost (channel MAC, digital signature, attestation, batch
+   hashing) before its handler runs.
+2. **Handler output cost** — signing and MAC'ing the messages the handler
+   produces occupies one worker after the handler.
+3. **Trusted accesses** — every counter/log operation performed by the handler
+   reserves the replica's (serial) trusted device; messages produced by the
+   handler do not leave the replica before those reservations complete.
+
+This is exactly the cost structure Section 9.3/9.4 of the paper discusses:
+signature work on worker threads, plus trusted-hardware latency on the
+critical path of every message that carries an attestation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+from ..common.config import CryptoCostModel, ProtocolConfig, TrustedHardwareSpec
+from ..common.errors import ProtocolError
+from ..common.types import FaultKind, Micros, ReplicaId, RequestId, SeqNum, ViewNum
+from ..crypto.keystore import KeyStore
+from ..crypto.signatures import Signature, SigningKey
+from ..execution.ledger import ExecutedBatch, Ledger
+from ..execution.safety import SafetyMonitor
+from ..execution.state_machine import OperationResult, StateMachine
+from ..net.network import Envelope, Network
+from ..sim.kernel import Simulator, Timer
+from ..sim.resources import SerialDevice, WorkerPool
+from ..trusted.attestation import verify_attestation
+from ..trusted.component import TrustedComponentHost
+from ..crypto.digest import digest
+from .messages import (
+    Checkpoint,
+    ClientRequest,
+    Commit,
+    CommitAck,
+    CommitCertificate,
+    NewView,
+    PrePrepare,
+    Prepare,
+    PreparedProof,
+    RequestBatch,
+    ResendRequest,
+    Response,
+    ViewChange,
+    noop_batch,
+)
+
+
+@dataclass
+class ReplicaContext:
+    """Everything a replica needs from its deployment."""
+
+    sim: Simulator
+    network: Network
+    keystore: KeyStore
+    crypto_costs: CryptoCostModel
+    protocol_config: ProtocolConfig
+    f: int
+    n: int
+    replica_names: list[str]
+    client_names: list[str]
+    state_machine: StateMachine
+    safety: SafetyMonitor
+    trusted: Optional[TrustedComponentHost] = None
+    trusted_device: Optional[SerialDevice] = None
+    trusted_spec: Optional[TrustedHardwareSpec] = None
+    #: typical one-way replica-to-replica latency; sequential speculative
+    #: protocols use it to model the completion of a consensus invocation.
+    one_way_latency_us: Micros = 120.0
+
+
+@dataclass
+class HandlerOutput:
+    """Per-handler accumulator of CPU cost and buffered outbound messages."""
+
+    cpu_us: Micros = 0.0
+    outbound: list[tuple[str, object]] = field(default_factory=list)
+    signed_objects: set[int] = field(default_factory=set)
+
+
+@dataclass
+class Instance:
+    """Per-sequence-number consensus bookkeeping."""
+
+    seq: SeqNum
+    view: ViewNum
+    batch: Optional[RequestBatch] = None
+    batch_digest: Optional[bytes] = None
+    preprepare: Optional[PrePrepare] = None
+    prepares: dict[ReplicaId, Prepare] = field(default_factory=dict)
+    commits: dict[ReplicaId, Commit] = field(default_factory=dict)
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+    speculative: bool = False
+
+
+@dataclass
+class ReplicaStats:
+    """Counters exposed for experiments and tests."""
+
+    messages_processed: int = 0
+    batches_proposed: int = 0
+    batches_committed: int = 0
+    batches_executed: int = 0
+    view_changes_started: int = 0
+    view_changes_completed: int = 0
+    checkpoints_taken: int = 0
+
+
+class BaseReplica:
+    """Common machinery for all protocol replicas."""
+
+    #: human-readable protocol name; subclasses override.
+    protocol_name = "base"
+    #: speculative protocols execute on the proposal itself (Zyzzyva, MinZZ,
+    #: Flexi-ZZ); when additionally run in sequential mode, the proposal
+    #: window only frees one round-trip after execution — the paper's
+    #: ``batch / (phases × RTT)`` bound for sequential consensus (Section 7).
+    speculative = False
+
+    def __init__(self, replica_id: ReplicaId, ctx: ReplicaContext) -> None:
+        self.replica_id = replica_id
+        self.ctx = ctx
+        self.name = ctx.replica_names[replica_id]
+        self.sim = ctx.sim
+        self.network = ctx.network
+        self.config = ctx.protocol_config
+        self.costs = ctx.crypto_costs
+        self.f = ctx.f
+        self.n = ctx.n
+        self.key: SigningKey = ctx.keystore.register(self.name)
+        self.state_machine = ctx.state_machine
+        self.ledger = Ledger()
+        self.safety = ctx.safety
+        self.trusted = ctx.trusted
+        self.trusted_device = ctx.trusted_device
+        self.workers = WorkerPool(ctx.sim, self.config.worker_threads,
+                                  name=f"{self.name}/workers")
+        self.stats = ReplicaStats()
+
+        # Protocol state.
+        self.view: ViewNum = 0
+        self.next_seq: SeqNum = 0
+        self.instances: dict[SeqNum, Instance] = {}
+        self.pending_requests: list[ClientRequest] = []
+        self.in_flight: set[SeqNum] = set()
+        self.reply_cache: dict[RequestId, Response] = {}
+        self.request_client: dict[RequestId, str] = {}
+        self.executable: dict[SeqNum, tuple[RequestBatch, ViewNum]] = {}
+
+        # Fault behaviour.
+        self.fault_kind = FaultKind.HONEST
+        self.active = True
+        self.outbound_filter: Optional[Callable[[str, object], bool]] = None
+
+        # Checkpoints.
+        self.checkpoint_votes: dict[SeqNum, dict[ReplicaId, bytes]] = {}
+
+        # View changes.
+        self.in_view_change = False
+        self.view_change_votes: dict[ViewNum, dict[ReplicaId, ViewChange]] = {}
+        self.new_view_sent: set[ViewNum] = set()
+
+        # Timers.
+        self.batch_timer = Timer(self.sim, self._on_batch_timeout)
+        self.progress_timer = Timer(self.sim, self._on_progress_timeout)
+        self.forwarded_requests: set[RequestId] = set()
+
+        self._handler: Optional[HandlerOutput] = None
+
+    # ------------------------------------------------------------ identities
+    @property
+    def is_primary(self) -> bool:
+        """Whether this replica leads the current view."""
+        return self.primary_of(self.view) == self.replica_id
+
+    def primary_of(self, view: ViewNum) -> ReplicaId:
+        """Round-robin primary assignment (``view mod n``)."""
+        return view % self.n
+
+    def primary_name(self, view: Optional[ViewNum] = None) -> str:
+        """Network name of the primary of ``view`` (default: current view)."""
+        return self.ctx.replica_names[self.primary_of(self.view if view is None else view)]
+
+    def replica_names_except_self(self) -> list[str]:
+        """Names of all other replicas."""
+        return [n for n in self.ctx.replica_names if n != self.name]
+
+    # ------------------------------------------------------------- fault API
+    def crash(self) -> None:
+        """Stop processing and sending messages (crash fault)."""
+        self.fault_kind = FaultKind.CRASHED
+        self.active = False
+
+    def make_byzantine(self, outbound_filter: Optional[Callable[[str, object], bool]] = None) -> None:
+        """Mark the replica byzantine and optionally restrict what it sends.
+
+        ``outbound_filter(destination, message)`` returning False suppresses a
+        message.  Attack scenarios use this to model selective sending; more
+        elaborate behaviours drive the replica's methods directly.
+        """
+        self.fault_kind = FaultKind.BYZANTINE
+        self.outbound_filter = outbound_filter
+
+    # --------------------------------------------------------------- network
+    def receive(self, envelope: Envelope) -> None:
+        """Network entry point: charge verification cost, then handle."""
+        if not self.active:
+            return
+        payload = envelope.payload
+        cost = self.inbound_verification_cost(payload)
+        self.workers.submit(cost, lambda: self._process(payload, envelope.source))
+
+    def _process(self, payload: object, source: str) -> None:
+        if not self.active:
+            return
+        self.stats.messages_processed += 1
+        output = HandlerOutput()
+        self._handler = output
+        try:
+            self.dispatch(payload, source)
+        finally:
+            self._handler = None
+        tc_ops = self.trusted.take_pending_accesses() if self.trusted else 0
+        if output.cpu_us > 0.0:
+            self.workers.submit(output.cpu_us,
+                                lambda: self._flush(output, tc_ops))
+        else:
+            self._flush(output, tc_ops)
+
+    def _flush(self, output: HandlerOutput, tc_ops: int) -> None:
+        departure = self.sim.now
+        if tc_ops and self.trusted_device is not None:
+            departure = self.trusted_device.reserve(operations=tc_ops)
+        for destination, message in output.outbound:
+            self.network.send(self.name, destination, message,
+                              earliest_departure=departure)
+
+    # -------------------------------------------------------------- dispatch
+    def dispatch(self, payload: object, source: str) -> None:
+        """Route a message to its handler; unknown types raise ProtocolError."""
+        if isinstance(payload, ClientRequest):
+            self.on_client_request(payload, source)
+        elif isinstance(payload, ResendRequest):
+            self.on_resend_request(payload, source)
+        elif isinstance(payload, PrePrepare):
+            self.on_preprepare(payload, source)
+        elif isinstance(payload, Prepare):
+            self.on_prepare(payload, source)
+        elif isinstance(payload, Commit):
+            self.on_commit(payload, source)
+        elif isinstance(payload, Checkpoint):
+            self.on_checkpoint(payload, source)
+        elif isinstance(payload, ViewChange):
+            self.on_view_change(payload, source)
+        elif isinstance(payload, NewView):
+            self.on_new_view(payload, source)
+        elif isinstance(payload, CommitCertificate):
+            self.on_commit_certificate(payload, source)
+        else:
+            raise ProtocolError(
+                f"{self.protocol_name} replica cannot handle "
+                f"{type(payload).__name__}")
+
+    # ------------------------------------------------------- cost accounting
+    def inbound_verification_cost(self, payload: object) -> Micros:
+        """CPU time to verify an inbound message before handling it."""
+        c = self.costs
+        cost = c.message_overhead_us + c.mac_verify_us
+        if isinstance(payload, ClientRequest):
+            cost += c.ds_verify_us
+        elif isinstance(payload, ResendRequest):
+            cost += c.ds_verify_us
+        elif isinstance(payload, PrePrepare):
+            cost += c.ds_verify_us + c.hash_us * max(1, len(payload.batch))
+            if payload.attestation is not None:
+                cost += c.attestation_verify_us
+        elif isinstance(payload, (Prepare, Commit)):
+            cost += c.ds_verify_us
+            if payload.attestation is not None:
+                cost += c.attestation_verify_us
+        elif isinstance(payload, Checkpoint):
+            cost += c.ds_verify_us
+        elif isinstance(payload, ViewChange):
+            cost += c.ds_verify_us * (1 + len(payload.prepared))
+        elif isinstance(payload, NewView):
+            cost += c.ds_verify_us * (1 + len(payload.proposals))
+        elif isinstance(payload, CommitCertificate):
+            cost += c.ds_verify_us * max(1, len(payload.responders))
+        elif isinstance(payload, CommitAck):
+            cost += c.ds_verify_us
+        return cost
+
+    def charge(self, amount: Micros) -> None:
+        """Add CPU time to the current handler (signing, hashing, execution)."""
+        if self._handler is not None:
+            self._handler.cpu_us += amount
+
+    # ---------------------------------------------------------------- output
+    def send(self, destination: str, message: object, sign: bool = True) -> None:
+        """Queue ``message`` for ``destination``, charging signing + MAC cost."""
+        if self._handler is None:
+            # Called outside a handler (e.g. timer-driven); create a transient
+            # output buffer and flush it immediately.
+            output = HandlerOutput()
+            self._handler = output
+            try:
+                self._queue(destination, message, sign, output)
+            finally:
+                self._handler = None
+            tc_ops = self.trusted.take_pending_accesses() if self.trusted else 0
+            self._flush_with_cost(output, tc_ops)
+            return
+        self._queue(destination, message, sign, self._handler)
+
+    def broadcast(self, message: object, include_self: bool = False,
+                  sign: bool = True) -> None:
+        """Queue ``message`` for every replica (optionally including self)."""
+        for name in self.ctx.replica_names:
+            if not include_self and name == self.name:
+                continue
+            self.send(name, message, sign=sign)
+
+    def _queue(self, destination: str, message: object, sign: bool,
+               output: HandlerOutput) -> None:
+        if self.outbound_filter is not None and not self.outbound_filter(destination, message):
+            return
+        if sign and id(message) not in output.signed_objects:
+            output.signed_objects.add(id(message))
+            output.cpu_us += self.costs.ds_sign_us
+        output.cpu_us += self.costs.mac_generate_us
+        output.outbound.append((destination, message))
+
+    def _flush_with_cost(self, output: HandlerOutput, tc_ops: int) -> None:
+        if output.cpu_us > 0.0:
+            self.workers.submit(output.cpu_us, lambda: self._flush(output, tc_ops))
+        else:
+            self._flush(output, tc_ops)
+
+    def signed(self, message):
+        """Return a copy of ``message`` carrying this replica's signature."""
+        signature = self.key.sign(message.signed_part())
+        return replace(message, signature=signature)
+
+    # ----------------------------------------------------- client interaction
+    def on_client_request(self, request: ClientRequest, source: str) -> None:
+        """Default client-request handling: batch at the primary, else forward."""
+        self.request_client[request.request_id] = request.client
+        cached = self.reply_cache.get(request.request_id)
+        if cached is not None:
+            self.send(request.client, cached)
+            return
+        if self.is_primary and not self.in_view_change:
+            self.enqueue_request(request)
+        else:
+            self.forward_to_primary(request)
+
+    def on_resend_request(self, resend: ResendRequest, source: str) -> None:
+        """A client re-broadcast: answer from cache or push towards the primary."""
+        request = resend.request
+        self.request_client[request.request_id] = request.client
+        cached = self.reply_cache.get(request.request_id)
+        if cached is not None:
+            self.send(request.client, cached)
+            return
+        if self.is_primary and not self.in_view_change:
+            self.enqueue_request(request)
+            return
+        self.forward_to_primary(request)
+        # The client could not make progress: if the primary keeps ignoring the
+        # request we must eventually suspect it (Sections 5 and 8.3).
+        self.progress_timer.start(self.config.request_timeout_us)
+
+    def enqueue_request(self, request: ClientRequest) -> None:
+        """Add a request to the primary's pending batch."""
+        if any(r.request_id == request.request_id for r in self.pending_requests):
+            return
+        self.pending_requests.append(request)
+        self.maybe_propose()
+
+    def forward_to_primary(self, request: ClientRequest) -> None:
+        """Forward a client request to the current primary (at most once)."""
+        if request.request_id in self.forwarded_requests:
+            return
+        self.forwarded_requests.add(request.request_id)
+        self.send(self.primary_name(), request)
+
+    def maybe_propose(self) -> None:
+        """Propose as many batches as the outstanding window allows."""
+        if not self.is_primary or self.in_view_change:
+            return
+        while (self.pending_requests
+               and len(self.in_flight) < self.config.max_outstanding
+               and len(self.pending_requests) >= self.config.batch_size):
+            self._propose_next()
+        if (self.pending_requests and not self.in_flight
+                and self.config.max_outstanding == 1):
+            # A sequential protocol's pipeline is idle: proposing a partial
+            # batch now beats waiting for the batch timer (this keeps
+            # sequential protocols bound by phase latency, not by the timer).
+            self._propose_next()
+        if self.pending_requests and len(self.in_flight) < self.config.max_outstanding:
+            self.batch_timer.start(self.config.batch_timeout_us)
+
+    def _on_batch_timeout(self) -> None:
+        if (self.is_primary and self.pending_requests
+                and len(self.in_flight) < self.config.max_outstanding):
+            self._propose_next()
+        if self.pending_requests:
+            self.batch_timer.restart(self.config.batch_timeout_us)
+
+    def _propose_next(self) -> None:
+        count = min(self.config.batch_size, len(self.pending_requests))
+        requests = tuple(self.pending_requests[:count])
+        del self.pending_requests[:count]
+        batch = RequestBatch(requests=requests)
+        self.stats.batches_proposed += 1
+        self.propose_batch(batch)
+
+    def propose_batch(self, batch: RequestBatch) -> None:
+        """Protocol-specific proposal logic (assign a sequence number, send)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ instances
+    def instance(self, seq: SeqNum, view: Optional[ViewNum] = None) -> Instance:
+        """Get or create the bookkeeping record for ``seq``."""
+        inst = self.instances.get(seq)
+        if inst is None:
+            inst = Instance(seq=seq, view=self.view if view is None else view)
+            self.instances[seq] = inst
+        return inst
+
+    def mark_committed(self, seq: SeqNum, batch: RequestBatch, view: ViewNum) -> None:
+        """Record a locally committed batch and execute when in order."""
+        inst = self.instance(seq, view)
+        if inst.committed:
+            return
+        inst.committed = True
+        inst.batch = batch
+        self.stats.batches_committed += 1
+        self.executable[seq] = (batch, view)
+        if self.is_primary:
+            self.instance_window_freed(seq)
+        self.try_execute()
+
+    def instance_window_freed(self, seq: SeqNum) -> None:
+        """Release the outstanding-window slot held by ``seq`` at the primary."""
+        self.in_flight.discard(seq)
+        self.maybe_propose()
+
+    # ------------------------------------------------------------- execution
+    def try_execute(self, speculative: bool = False) -> None:
+        """Execute every batch whose predecessors have all executed."""
+        while True:
+            next_seq = self.ledger.last_executed + 1
+            entry = self.executable.get(next_seq)
+            if entry is None:
+                return
+            batch, view = entry
+            del self.executable[next_seq]
+            self.execute_batch(next_seq, batch, view, speculative=speculative)
+
+    def execute_batch(self, seq: SeqNum, batch: RequestBatch, view: ViewNum,
+                      speculative: bool = False) -> None:
+        """Apply a batch to the state machine and reply to its clients."""
+        inst = self.instance(seq, view)
+        if inst.executed:
+            return
+        inst.executed = True
+        inst.batch = batch
+        inst.speculative = speculative
+        results: list[OperationResult] = []
+        request_ids: list[str] = []
+        responses: list[tuple[str, Response]] = []
+        op_count = 0
+        for request in batch.requests:
+            request_results = tuple(self.state_machine.apply(op)
+                                    for op in request.operations)
+            op_count += len(request.operations)
+            results.append(request_results[0])
+            request_ids.append(str(request.request_id))
+            response = self._build_reply(request, seq, view, request_results,
+                                         speculative)
+            if response is not None:
+                responses.append((request.client, response))
+        # Execution and reply signing happen off the consensus critical path:
+        # they occupy worker threads (and therefore contend with message
+        # verification under load) but do not delay the protocol messages
+        # produced by this handler.
+        reply_cost = (self.costs.execute_op_us * op_count
+                      + len(responses) * (self.costs.ds_sign_us
+                                          + self.costs.mac_generate_us))
+        release_seq = seq if self._sequential_speculative_primary() else None
+        self.workers.submit(reply_cost,
+                            lambda: self._send_replies(responses, release_seq))
+        executed = ExecutedBatch(
+            seq=seq, batch_digest=batch.digest(),
+            request_ids=tuple(request_ids), results=tuple(results),
+            executed_at=self.sim.now, speculative=speculative)
+        self.ledger.record(executed)
+        self.stats.batches_executed += 1
+        self.safety.record_execution(self.replica_id, seq, view, batch.digest(),
+                                     self.sim.now)
+        if self.is_primary:
+            self._release_after_execution(seq)
+        self.on_executed(seq, batch, view)
+        self.maybe_checkpoint()
+
+    def _release_after_execution(self, seq: SeqNum) -> None:
+        """Free the primary's proposal window once ``seq`` has executed.
+
+        For speculative protocols run in sequential mode the release is tied
+        to the deferred execute-and-reply job instead (see
+        :meth:`_send_replies`), which models the completion of the consensus
+        invocation at the replicas.
+        """
+        if self._sequential_speculative_primary():
+            return
+        self.instance_window_freed(seq)
+
+    def _build_reply(self, request: ClientRequest, seq: SeqNum, view: ViewNum,
+                     results: tuple[OperationResult, ...],
+                     speculative: bool) -> Optional[Response]:
+        if request.client.startswith("__"):
+            return None  # no-op filler batches have no client to answer
+        response = Response(
+            request_id=request.request_id, seq=seq, view=view,
+            replica=self.replica_id, result=results[0],
+            result_digest=digest(results), speculative=speculative)
+        response = self.signed(response)
+        self.reply_cache[request.request_id] = response
+        return response
+
+    def _send_replies(self, responses: list[tuple[str, Response]],
+                      release_seq: Optional[SeqNum] = None) -> None:
+        for client, response in responses:
+            if self.outbound_filter is not None and not self.outbound_filter(client, response):
+                continue
+            self.network.send(self.name, client, response)
+        if release_seq is not None:
+            # Sequential speculative protocols (oFlexi-ZZ, MinZZ): the next
+            # consensus invocation may only start once the previous one has
+            # completed at the replicas.  The primary has no acknowledgement
+            # in a single-phase protocol, so completion is approximated by the
+            # primary's own execute-and-reply work plus one network round trip
+            # — the ``batch / (phases × RTT)`` bound of Section 7.
+            self.sim.schedule(2 * self.ctx.one_way_latency_us,
+                              lambda: self.instance_window_freed(release_seq))
+
+    def _sequential_speculative_primary(self) -> bool:
+        return (self.is_primary and self.speculative
+                and self.config.max_outstanding == 1)
+
+    def on_executed(self, seq: SeqNum, batch: RequestBatch, view: ViewNum) -> None:
+        """Hook for protocols that need to act after execution."""
+
+    # ------------------------------------------------------------ checkpoint
+    def maybe_checkpoint(self) -> None:
+        """Broadcast a checkpoint every ``checkpoint_interval`` executions."""
+        seq = self.ledger.last_executed
+        if seq == 0 or seq % self.config.checkpoint_interval != 0:
+            return
+        if seq <= self.ledger.stable_checkpoint:
+            return
+        state_digest = self.state_machine.state_digest()
+        self.charge(self.costs.hash_us * 4)
+        # The digest is taken exactly after executing ``seq``; this is the
+        # point at which RSM safety requires honest replicas to agree.
+        self.safety.record_state_digest(self.replica_id, seq, state_digest)
+        checkpoint = self.signed(Checkpoint(seq=seq, state_digest=state_digest,
+                                            replica=self.replica_id))
+        self._record_checkpoint_vote(checkpoint)
+        self.broadcast(checkpoint)
+
+    def on_checkpoint(self, checkpoint: Checkpoint, source: str) -> None:
+        """Count matching checkpoint votes; stabilise at ``f + 1``."""
+        self._record_checkpoint_vote(checkpoint)
+
+    def _record_checkpoint_vote(self, checkpoint: Checkpoint) -> None:
+        votes = self.checkpoint_votes.setdefault(checkpoint.seq, {})
+        votes[checkpoint.replica] = checkpoint.state_digest
+        matching = sum(1 for d in votes.values() if d == checkpoint.state_digest)
+        if matching >= self.checkpoint_quorum() and checkpoint.seq > self.ledger.stable_checkpoint:
+            self.ledger.mark_stable(checkpoint.seq)
+            self.ledger.truncate_below(checkpoint.seq - self.config.checkpoint_interval)
+            self.stats.checkpoints_taken += 1
+
+    def checkpoint_quorum(self) -> int:
+        """Votes needed to declare a checkpoint stable (``f + 1``)."""
+        return self.f + 1
+
+    # ---------------------------------------------------- speculative helpers
+    def on_commit_certificate(self, certificate: CommitCertificate, source: str) -> None:
+        """Acknowledge a client commit certificate (speculative protocols)."""
+        response = self.reply_cache.get(certificate.request_id)
+        if response is None or response.result_digest != certificate.result_digest:
+            return
+        ack = self.signed(CommitAck(
+            request_id=certificate.request_id, seq=certificate.seq,
+            view=certificate.view, replica=self.replica_id,
+            result_digest=certificate.result_digest))
+        self.send(source, ack)
+
+    # ------------------------------------------------------------ view change
+    def view_change_trigger_quorum(self) -> int:
+        """Votes needed before a replica joins a view change it did not start."""
+        return self.f + 1
+
+    def view_change_completion_quorum(self) -> int:
+        """Votes the new primary needs before installing the new view."""
+        return 2 * self.f + 1 if self.n >= 3 * self.f + 1 else self.f + 1
+
+    def _on_progress_timeout(self) -> None:
+        if not self.active or self.in_view_change:
+            return
+        self.initiate_view_change(self.view + 1)
+
+    def initiate_view_change(self, new_view: ViewNum) -> None:
+        """Vote to replace the primary of the current view."""
+        if new_view <= self.view and self.in_view_change:
+            return
+        self.in_view_change = True
+        self.stats.view_changes_started += 1
+        proofs = tuple(self.collect_view_change_proofs())
+        vc = self.signed(ViewChange(
+            new_view=new_view, replica=self.replica_id,
+            last_stable_seq=self.ledger.stable_checkpoint, prepared=proofs))
+        self._record_view_change_vote(vc)
+        self.broadcast(vc)
+        self.progress_timer.restart(self.config.view_change_timeout_us)
+
+    def collect_view_change_proofs(self) -> list[PreparedProof]:
+        """Evidence of batches that must survive into the next view."""
+        proofs = []
+        for seq in sorted(self.instances):
+            inst = self.instances[seq]
+            if inst.batch is None or inst.batch_digest is None:
+                continue
+            if inst.prepared or inst.committed or inst.executed:
+                attestation = (inst.preprepare.attestation
+                               if inst.preprepare is not None else None)
+                proofs.append(PreparedProof(
+                    view=inst.view, seq=seq, batch=inst.batch,
+                    batch_digest=inst.batch_digest, attestation=attestation,
+                    prepare_count=len(inst.prepares)))
+        return proofs
+
+    def on_view_change(self, vc: ViewChange, source: str) -> None:
+        """Collect view-change votes; the new primary installs the view."""
+        if vc.new_view <= self.view and not (vc.new_view == self.view and self.in_view_change):
+            return
+        self._record_view_change_vote(vc)
+        votes = self.view_change_votes.get(vc.new_view, {})
+        if (not self.in_view_change
+                and len(votes) >= self.view_change_trigger_quorum()):
+            # Join the view change: enough peers suspect the primary.
+            self.initiate_view_change(vc.new_view)
+            votes = self.view_change_votes.get(vc.new_view, {})
+        if (self.primary_of(vc.new_view) == self.replica_id
+                and len(votes) >= self.view_change_completion_quorum()
+                and vc.new_view not in self.new_view_sent):
+            self._install_new_view(vc.new_view, votes)
+
+    def _record_view_change_vote(self, vc: ViewChange) -> None:
+        self.view_change_votes.setdefault(vc.new_view, {})[vc.replica] = vc
+
+    def _install_new_view(self, new_view: ViewNum, votes: dict[ReplicaId, ViewChange]) -> None:
+        self.new_view_sent.add(new_view)
+        proposals = self.build_new_view_proposals(new_view, votes)
+        new_view_msg = self.signed(NewView(
+            view=new_view, primary=self.replica_id,
+            view_change_replicas=tuple(sorted(votes)),
+            proposals=tuple(proposals)))
+        self.broadcast(new_view_msg)
+        self.on_new_view(new_view_msg, self.name)
+
+    def build_new_view_proposals(self, new_view: ViewNum,
+                                 votes: dict[ReplicaId, ViewChange]) -> list[PrePrepare]:
+        """Re-propose every batch that may have committed in earlier views.
+
+        Collects the highest-view proof per sequence number from the
+        view-change votes, fills gaps with no-op batches, and asks the
+        protocol (via :meth:`reissue_proposal`) to build the new-view
+        Preprepare, which for FlexiTrust protocols involves creating a fresh
+        trusted counter.
+        """
+        best: dict[SeqNum, PreparedProof] = {}
+        min_stable = 0
+        for vc in votes.values():
+            min_stable = max(min_stable, vc.last_stable_seq)
+            for proof in vc.prepared:
+                current = best.get(proof.seq)
+                if current is None or proof.view > current.view:
+                    best[proof.seq] = proof
+        proposals: list[PrePrepare] = []
+        if not best:
+            return proposals
+        low = min(best)
+        high = max(best)
+        self.prepare_new_view_counter(new_view, low)
+        for seq in range(low, high + 1):
+            if seq <= min_stable and seq not in best:
+                continue
+            proof = best.get(seq)
+            batch = proof.batch if proof is not None else noop_batch()
+            proposals.append(self.reissue_proposal(new_view, seq, batch))
+        return proposals
+
+    def prepare_new_view_counter(self, new_view: ViewNum, lowest_seq: SeqNum) -> None:
+        """Hook for FlexiTrust primaries to create a fresh trusted counter."""
+
+    def reissue_proposal(self, new_view: ViewNum, seq: SeqNum,
+                         batch: RequestBatch) -> PrePrepare:
+        """Build the Preprepare re-proposing ``batch`` at ``seq`` in ``new_view``."""
+        return self.signed(PrePrepare(
+            view=new_view, seq=seq, batch=batch, batch_digest=batch.digest(),
+            primary=self.replica_id))
+
+    def on_new_view(self, new_view: NewView, source: str) -> None:
+        """Validate and install a new view, then process its re-proposals."""
+        if new_view.view < self.view:
+            return
+        if self.primary_of(new_view.view) != new_view.primary:
+            raise ProtocolError("NewView sent by a replica that is not its primary")
+        self.enter_view(new_view.view)
+        self.stats.view_changes_completed += 1
+        for proposal in new_view.proposals:
+            self.on_preprepare(proposal, source)
+        # The new view's sequence numbering continues after the highest
+        # re-proposed (or executed) slot; anything above that was abandoned.
+        highest_reproposed = max((p.seq for p in new_view.proposals), default=0)
+        self.next_seq = max(self.ledger.last_executed, highest_reproposed,
+                            self.ledger.stable_checkpoint)
+        self.maybe_propose()
+
+    def enter_view(self, view: ViewNum) -> None:
+        """Switch to ``view`` and reset view-change state."""
+        self.view = max(self.view, view)
+        self.in_view_change = False
+        self.progress_timer.cancel()
+        self.in_flight.clear()
+        # Drop consensus state from earlier views that never took effect: the
+        # new primary may legitimately reuse those sequence numbers.
+        stale = [seq for seq, inst in self.instances.items()
+                 if inst.view < self.view and not inst.committed and not inst.executed]
+        for seq in stale:
+            del self.instances[seq]
+            self.executable.pop(seq, None)
+
+    # --------------------------------------------------------- protocol hooks
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        """Handle the primary's proposal; protocol-specific."""
+        raise NotImplementedError
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        """Handle a Prepare vote; protocol-specific (optional)."""
+        raise NotImplementedError
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        """Handle a Commit vote; protocol-specific (optional)."""
+        raise NotImplementedError
+
+    # --------------------------------------------------------------- helpers
+    def verify_client_request(self, request: ClientRequest) -> bool:
+        """Check the client's signature on a request (primary-side)."""
+        if request.signature is None:
+            return request.client.startswith("__")
+        return self.ctx.keystore.is_valid(request.signed_part(), request.signature)
+
+    def verify_preprepare_attestation(self, preprepare: PrePrepare,
+                                      expected_component: str) -> bool:
+        """Check a Preprepare's trusted attestation binds this batch digest."""
+        if preprepare.attestation is None:
+            return False
+        try:
+            verify_attestation(self.ctx.keystore, preprepare.attestation,
+                               expected_component=expected_component,
+                               expected_digest=preprepare.batch_digest)
+        except Exception:
+            return False
+        return True
+
+    def executed_digest(self, seq: SeqNum) -> Optional[bytes]:
+        """Digest of the batch executed at ``seq`` (None if not executed)."""
+        entry = self.ledger.entry(seq)
+        return entry.batch_digest if entry is not None else None

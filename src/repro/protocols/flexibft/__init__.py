@@ -1,0 +1,5 @@
+"""flexibft protocol implementation."""
+
+from .replica import FlexiBftReplica
+
+__all__ = ["FlexiBftReplica"]

@@ -1,0 +1,138 @@
+"""Flexi-BFT: the FlexiTrust transformation of MinBFT (Section 8.2).
+
+n = 3f + 1 replicas.  Only the primary touches trusted hardware: a single
+``AppendF`` per batch binds the batch digest to the next contiguous counter
+value, and the attestation travels inside the Preprepare.  Replicas verify the
+attestation (no trusted access of their own), broadcast Prepare, and commit on
+2f + 1 matching Prepare votes — one phase fewer than Pbft.  Consensus
+instances run in parallel because replicas no longer serialise on their local
+counters.
+"""
+
+from __future__ import annotations
+
+from ...common.errors import ProtocolError
+from ...common.types import SeqNum, ViewNum
+from ..base import BaseReplica
+from ..messages import Commit, PrePrepare, Prepare, RequestBatch
+
+
+class FlexiBftReplica(BaseReplica):
+    """One Flexi-BFT replica."""
+
+    protocol_name = "flexi-bft"
+
+    def __init__(self, replica_id, ctx) -> None:
+        super().__init__(replica_id, ctx)
+        if self.trusted is None:
+            raise ProtocolError("Flexi-BFT requires a trusted component at the primary")
+        #: identifier of the FlexiTrust counter used for proposals in the
+        #: current view; view changes replace it via ``Create``.
+        self.counter_id = 0
+        self._counter_ready = False
+
+    # ------------------------------------------------------------- proposing
+    def _ensure_counter(self) -> None:
+        if not self._counter_ready:
+            self.counter_id, _ = self.trusted.create_counter(self.next_seq)
+            self._counter_ready = True
+
+    def propose_batch(self, batch: RequestBatch) -> None:
+        """AppendF the batch digest and broadcast the attested Preprepare."""
+        self._ensure_counter()
+        batch_digest = batch.digest()
+        self.charge(self.costs.hash_us * max(1, len(batch)))
+        attestation = self.trusted.append_f(self.counter_id, batch_digest)
+        seq = attestation.value
+        self.next_seq = max(self.next_seq, seq)
+        preprepare = self.signed(PrePrepare(
+            view=self.view, seq=seq, batch=batch, batch_digest=batch_digest,
+            primary=self.replica_id, attestation=attestation))
+        inst = self.instance(seq, self.view)
+        inst.batch = batch
+        inst.batch_digest = batch_digest
+        inst.preprepare = preprepare
+        inst.prepared = True  # the attestation is the proposal's proof
+        inst.prepares[self.replica_id] = Prepare(
+            view=self.view, seq=seq, batch_digest=batch_digest,
+            replica=self.replica_id, attestation=attestation)
+        self.in_flight.add(seq)
+        self.broadcast(preprepare)
+        self._check_committed(seq)
+
+    # ---------------------------------------------------------------- phases
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        if preprepare.view < self.view:
+            return
+        if preprepare.primary != self.primary_of(preprepare.view):
+            return
+        expected_component = f"tc/{self.ctx.replica_names[preprepare.primary]}"
+        if not self.verify_preprepare_attestation(preprepare, expected_component):
+            return
+        inst = self.instance(preprepare.seq, preprepare.view)
+        if inst.preprepare is not None and inst.batch_digest != preprepare.batch_digest:
+            return  # cannot happen with an honest trusted component
+        if inst.preprepare is None:
+            inst.preprepare = preprepare
+            inst.batch = preprepare.batch
+            inst.batch_digest = preprepare.batch_digest
+            inst.view = preprepare.view
+            inst.prepared = True
+        inst.prepares[preprepare.primary] = Prepare(
+            view=preprepare.view, seq=preprepare.seq,
+            batch_digest=preprepare.batch_digest, replica=preprepare.primary,
+            attestation=preprepare.attestation)
+        if self.replica_id not in inst.prepares:
+            prepare = self.signed(Prepare(
+                view=preprepare.view, seq=preprepare.seq,
+                batch_digest=preprepare.batch_digest, replica=self.replica_id,
+                attestation=preprepare.attestation))
+            inst.prepares[self.replica_id] = prepare
+            self.broadcast(prepare)
+        self._check_committed(preprepare.seq)
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        if prepare.view < self.view:
+            return
+        inst = self.instance(prepare.seq, prepare.view)
+        inst.prepares[prepare.replica] = prepare
+        self._check_committed(prepare.seq)
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        """Flexi-BFT has no Commit phase; stray messages are ignored."""
+
+    # --------------------------------------------------------------- quorums
+    def commit_quorum(self) -> int:
+        """Matching Prepare votes needed to commit (2f + 1)."""
+        return 2 * self.f + 1
+
+    def _check_committed(self, seq: SeqNum) -> None:
+        inst = self.instances.get(seq)
+        if inst is None or inst.committed or inst.batch is None:
+            return
+        matching = sum(1 for p in inst.prepares.values()
+                       if p.batch_digest == inst.batch_digest)
+        if matching >= self.commit_quorum():
+            self.mark_committed(seq, inst.batch, inst.view)
+
+    # ------------------------------------------------------------ view change
+    def prepare_new_view_counter(self, new_view: ViewNum, lowest_seq: SeqNum) -> None:
+        """Create a fresh trusted counter so re-proposals keep their numbers."""
+        self.counter_id, _ = self.trusted.create_counter(max(0, lowest_seq - 1))
+        self._counter_ready = True
+
+    def reissue_proposal(self, new_view: ViewNum, seq: SeqNum,
+                         batch: RequestBatch) -> PrePrepare:
+        """Re-propose ``batch`` at ``seq`` with a fresh attestation."""
+        batch_digest = batch.digest()
+        attestation = self.trusted.append_f(self.counter_id, batch_digest)
+        return self.signed(PrePrepare(
+            view=new_view, seq=attestation.value, batch=batch,
+            batch_digest=batch_digest, primary=self.replica_id,
+            attestation=attestation))
+
+    def enter_view(self, view: ViewNum) -> None:
+        super().enter_view(view)
+        if self.is_primary and view > 0:
+            # A new primary must not reuse the previous view's counter.
+            self._counter_ready = False

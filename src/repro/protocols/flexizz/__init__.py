@@ -1,0 +1,5 @@
+"""flexizz protocol implementation."""
+
+from .replica import FlexiZzReplica
+
+__all__ = ["FlexiZzReplica"]

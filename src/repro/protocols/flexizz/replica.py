@@ -1,0 +1,125 @@
+"""Flexi-ZZ: the FlexiTrust transformation of MinZZ / Zyzzyva (Section 8.3).
+
+n = 3f + 1 replicas and a single linear phase: the primary AppendF's the batch
+digest, broadcasts the attested Preprepare, and every replica (primary
+included) executes speculatively in sequence order and answers the client
+directly.  The client completes on 2f + 1 matching replies — which means the
+fast path survives up to f unresponsive replicas, unlike Zyzzyva and MinZZ
+which need *all* replicas to answer (Figure 7).
+"""
+
+from __future__ import annotations
+
+from ...common.errors import ProtocolError
+from ...common.types import SeqNum, ViewNum
+from ..base import BaseReplica
+from ..messages import Commit, PrePrepare, Prepare, RequestBatch
+
+
+class FlexiZzReplica(BaseReplica):
+    """One Flexi-ZZ replica."""
+
+    protocol_name = "flexi-zz"
+    speculative = True
+
+    def __init__(self, replica_id, ctx) -> None:
+        super().__init__(replica_id, ctx)
+        if self.trusted is None:
+            raise ProtocolError("Flexi-ZZ requires a trusted component at the primary")
+        self.counter_id = 0
+        self._counter_ready = False
+
+    # ------------------------------------------------------------- proposing
+    def _ensure_counter(self) -> None:
+        if not self._counter_ready:
+            self.counter_id, _ = self.trusted.create_counter(self.next_seq)
+            self._counter_ready = True
+
+    def propose_batch(self, batch: RequestBatch) -> None:
+        """AppendF, broadcast, and speculatively execute locally."""
+        self._ensure_counter()
+        batch_digest = batch.digest()
+        self.charge(self.costs.hash_us * max(1, len(batch)))
+        attestation = self.trusted.append_f(self.counter_id, batch_digest)
+        seq = attestation.value
+        self.next_seq = max(self.next_seq, seq)
+        preprepare = self.signed(PrePrepare(
+            view=self.view, seq=seq, batch=batch, batch_digest=batch_digest,
+            primary=self.replica_id, attestation=attestation))
+        inst = self.instance(seq, self.view)
+        inst.batch = batch
+        inst.batch_digest = batch_digest
+        inst.preprepare = preprepare
+        inst.prepared = True
+        inst.committed = True
+        self.in_flight.add(seq)
+        self.broadcast(preprepare)
+        self.executable[seq] = (batch, self.view)
+        self.try_execute(speculative=True)
+
+    # ---------------------------------------------------------------- phases
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        if preprepare.view < self.view:
+            return
+        if preprepare.primary != self.primary_of(preprepare.view):
+            return
+        expected_component = f"tc/{self.ctx.replica_names[preprepare.primary]}"
+        if not self.verify_preprepare_attestation(preprepare, expected_component):
+            return
+        inst = self.instance(preprepare.seq, preprepare.view)
+        if inst.preprepare is not None and inst.batch_digest != preprepare.batch_digest:
+            return
+        if inst.preprepare is not None:
+            return  # duplicate
+        inst.preprepare = preprepare
+        inst.batch = preprepare.batch
+        inst.batch_digest = preprepare.batch_digest
+        inst.view = preprepare.view
+        inst.prepared = True
+        inst.committed = True
+        self.executable[preprepare.seq] = (preprepare.batch, preprepare.view)
+        self.try_execute(speculative=True)
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        """Flexi-ZZ has no Prepare phase; stray messages are ignored."""
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        """Flexi-ZZ has no Commit phase; stray messages are ignored."""
+
+    # ------------------------------------------------------------ view change
+    def view_change_completion_quorum(self) -> int:
+        return 2 * self.f + 1
+
+    def prepare_new_view_counter(self, new_view: ViewNum, lowest_seq: SeqNum) -> None:
+        self.counter_id, _ = self.trusted.create_counter(max(0, lowest_seq - 1))
+        self._counter_ready = True
+
+    def reissue_proposal(self, new_view: ViewNum, seq: SeqNum,
+                         batch: RequestBatch) -> PrePrepare:
+        batch_digest = batch.digest()
+        attestation = self.trusted.append_f(self.counter_id, batch_digest)
+        return self.signed(PrePrepare(
+            view=new_view, seq=attestation.value, batch=batch,
+            batch_digest=batch_digest, primary=self.replica_id,
+            attestation=attestation))
+
+    def enter_view(self, view: ViewNum) -> None:
+        rollback_to = self.ledger.stable_checkpoint
+        super().enter_view(view)
+        if self.is_primary and view > 0:
+            self._counter_ready = False
+
+    def rollback_speculation(self, to_seq: SeqNum) -> None:
+        """Undo speculative executions above ``to_seq`` (Section 8.3).
+
+        Replicas that executed a batch fewer than 2f + 1 replicas saw may have
+        to abandon it after a view change; the state machine is restored from
+        the snapshot taken at ``to_seq`` (or replayed from the stable
+        checkpoint by the deployment if no snapshot exists).
+        """
+        removed = self.ledger.rollback_to(to_seq)
+        for batch in removed:
+            self.safety.record_rollback(self.replica_id, batch.seq)
+        snapshot = self.ledger.snapshot_at(to_seq)
+        if snapshot is not None:
+            self.state_machine.restore(snapshot)

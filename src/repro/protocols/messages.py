@@ -1,0 +1,250 @@
+"""Protocol messages shared by every consensus implementation.
+
+Message names follow the paper: ``Preprepare``, ``Prepare``, ``Commit``,
+``Response``, ``Checkpoint``, ``ViewChange``, ``NewView``.  Speculative
+protocols (Zyzzyva, MinZZ) additionally use a client-driven
+``CommitCertificate`` / ``CommitAck`` pair for their slow path.
+
+Each message exposes ``signed_part()`` — the fields covered by the sender's
+digital signature.  Signatures cover digests rather than full payloads (the
+batch digest already commits to every request), which mirrors how ResilientDB
+signs message headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.types import ClientId, ReplicaId, RequestId, SeqNum, ViewNum
+from ..crypto.digest import combine_digests, digest
+from ..crypto.signatures import Signature
+from ..execution.state_machine import Operation, OperationResult
+from ..trusted.attestation import Attestation
+
+
+# --------------------------------------------------------------------- client
+@dataclass(frozen=True)
+class ClientRequest:
+    """A signed client transaction ``⟨T⟩_c`` (possibly several operations)."""
+
+    request_id: RequestId
+    operations: tuple[Operation, ...]
+    signature: Optional[Signature] = None
+
+    @property
+    def client(self) -> ClientId:
+        """The issuing client's identity."""
+        return self.request_id.client
+
+    def payload_digest(self) -> bytes:
+        """Digest of the transaction (what the primary hashes as ``Δ``)."""
+        return digest({"request_id": self.request_id, "operations": self.operations})
+
+    def signed_part(self) -> dict:
+        return {"request_id": self.request_id,
+                "digest": self.payload_digest()}
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """A batch of client requests ordered as one consensus decision."""
+
+    requests: tuple[ClientRequest, ...]
+
+    def digest(self) -> bytes:
+        """Digest committing to every request in order."""
+        return combine_digests(*(req.payload_digest() for req in self.requests))
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclass(frozen=True)
+class Response:
+    """Reply from a replica to a client for one request."""
+
+    request_id: RequestId
+    seq: SeqNum
+    view: ViewNum
+    replica: ReplicaId
+    result: OperationResult
+    result_digest: bytes
+    speculative: bool = False
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"request_id": self.request_id, "seq": self.seq,
+                "view": self.view, "result_digest": self.result_digest}
+
+    def match_key(self) -> tuple:
+        """What must be identical across replies for the client to accept."""
+        return (self.request_id, self.seq, self.view, self.result_digest)
+
+
+@dataclass(frozen=True)
+class ResendRequest:
+    """A client re-broadcasting a request it never got enough replies for."""
+
+    request: ClientRequest
+
+
+# ------------------------------------------------------------------ consensus
+@dataclass(frozen=True)
+class PrePrepare:
+    """The primary's proposal binding a batch to a sequence number."""
+
+    view: ViewNum
+    seq: SeqNum
+    batch: RequestBatch
+    batch_digest: bytes
+    primary: ReplicaId
+    attestation: Optional[Attestation] = None
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"view": self.view, "seq": self.seq,
+                "batch_digest": self.batch_digest, "primary": self.primary}
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """A replica's vote supporting a (sequence number, batch) pairing."""
+
+    view: ViewNum
+    seq: SeqNum
+    batch_digest: bytes
+    replica: ReplicaId
+    attestation: Optional[Attestation] = None
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"view": self.view, "seq": self.seq,
+                "batch_digest": self.batch_digest, "replica": self.replica}
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A replica's vote that a batch is prepared and may be committed."""
+
+    view: ViewNum
+    seq: SeqNum
+    batch_digest: bytes
+    replica: ReplicaId
+    attestation: Optional[Attestation] = None
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"view": self.view, "seq": self.seq,
+                "batch_digest": self.batch_digest, "replica": self.replica}
+
+
+# --------------------------------------------------------- speculative paths
+@dataclass(frozen=True)
+class CommitCertificate:
+    """Client-assembled proof that enough replicas speculatively executed.
+
+    Zyzzyva / MinZZ slow path: when a client cannot collect replies from every
+    replica, it broadcasts the certificate formed from the matching replies it
+    did receive; replicas acknowledge, and f + 1 acknowledgements complete the
+    request.
+    """
+
+    request_id: RequestId
+    seq: SeqNum
+    view: ViewNum
+    result_digest: bytes
+    responders: tuple[ReplicaId, ...]
+
+
+@dataclass(frozen=True)
+class CommitAck:
+    """A replica's acknowledgement of a client commit certificate."""
+
+    request_id: RequestId
+    seq: SeqNum
+    view: ViewNum
+    replica: ReplicaId
+    result_digest: bytes
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"request_id": self.request_id, "seq": self.seq,
+                "view": self.view, "result_digest": self.result_digest}
+
+    def match_key(self) -> tuple:
+        return (self.request_id, self.seq, self.result_digest)
+
+
+# ----------------------------------------------------------------- liveness
+@dataclass(frozen=True)
+class Checkpoint:
+    """Periodic state digest exchanged to garbage-collect logs."""
+
+    seq: SeqNum
+    state_digest: bytes
+    replica: ReplicaId
+    attestation: Optional[Attestation] = None
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"seq": self.seq, "state_digest": self.state_digest,
+                "replica": self.replica}
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """Evidence carried in a ViewChange that a batch was prepared/executed."""
+
+    view: ViewNum
+    seq: SeqNum
+    batch: RequestBatch
+    batch_digest: bytes
+    attestation: Optional[Attestation] = None
+    prepare_count: int = 0
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """A replica's vote to move to ``new_view`` with its protocol evidence."""
+
+    new_view: ViewNum
+    replica: ReplicaId
+    last_stable_seq: SeqNum
+    prepared: tuple[PreparedProof, ...]
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"new_view": self.new_view, "replica": self.replica,
+                "last_stable_seq": self.last_stable_seq,
+                "prepared_digests": tuple((p.seq, p.batch_digest)
+                                          for p in self.prepared)}
+
+
+@dataclass(frozen=True)
+class NewView:
+    """The new primary's start-of-view message with re-proposals."""
+
+    view: ViewNum
+    primary: ReplicaId
+    view_change_replicas: tuple[ReplicaId, ...]
+    proposals: tuple[PrePrepare, ...]
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"view": self.view, "primary": self.primary,
+                "view_change_replicas": self.view_change_replicas,
+                "proposal_digests": tuple((p.seq, p.batch_digest)
+                                          for p in self.proposals)}
+
+
+#: A batch of no-op requests used by new primaries to fill sequence gaps.
+NOOP_REQUEST = ClientRequest(
+    request_id=RequestId(client="__noop__", number=0),
+    operations=(Operation(action="noop", key="__noop__"),),
+)
+
+
+def noop_batch() -> RequestBatch:
+    """A batch containing a single no-op request."""
+    return RequestBatch(requests=(NOOP_REQUEST,))

@@ -1,0 +1,5 @@
+"""minbft protocol implementation."""
+
+from .replica import MinBftReplica
+
+__all__ = ["MinBftReplica"]

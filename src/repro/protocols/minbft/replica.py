@@ -1,0 +1,119 @@
+"""MinBFT: two-phase trust-bft consensus with trusted counters (Section 4.2).
+
+n = 2f + 1 replicas, each with a trusted monotonic counter.  The primary binds
+each batch to the next counter value of its own component; every replica binds
+each *message it sends* to its own counter (the "unique identifier" of the
+original protocol), which is why trusted-hardware latency sits on the critical
+path of every phase.  A batch commits after f + 1 matching Prepare votes — the
+Commit phase of Pbft-EA is redundant once equivocation is impossible.
+
+Consensus invocations are inherently sequential (Section 7): the deployment
+layer pins ``max_outstanding`` to 1 for this protocol.
+"""
+
+from __future__ import annotations
+
+from ...common.errors import ProtocolError
+from ...common.types import SeqNum
+from ..base import BaseReplica
+from ..messages import Commit, PrePrepare, Prepare, RequestBatch
+
+#: trusted counter used by the primary to order batches.
+ORDER_COUNTER = 0
+#: trusted counter used by every replica to bind its outgoing votes.
+MESSAGE_COUNTER = 1
+
+
+class MinBftReplica(BaseReplica):
+    """One MinBFT replica."""
+
+    protocol_name = "minbft"
+
+    def __init__(self, replica_id, ctx) -> None:
+        super().__init__(replica_id, ctx)
+        if self.trusted is None:
+            raise ProtocolError("MinBFT requires a trusted component at every replica")
+
+    # ------------------------------------------------------------- proposing
+    def propose_batch(self, batch: RequestBatch) -> None:
+        """Bind the batch to the primary's next counter value and broadcast."""
+        batch_digest = batch.digest()
+        self.charge(self.costs.hash_us * max(1, len(batch)))
+        attestation = self.trusted.counter_append(ORDER_COUNTER, None, batch_digest)
+        seq = attestation.value
+        self.next_seq = max(self.next_seq, seq)
+        preprepare = self.signed(PrePrepare(
+            view=self.view, seq=seq, batch=batch, batch_digest=batch_digest,
+            primary=self.replica_id, attestation=attestation))
+        inst = self.instance(seq, self.view)
+        inst.batch = batch
+        inst.batch_digest = batch_digest
+        inst.preprepare = preprepare
+        inst.prepared = True
+        inst.prepares[self.replica_id] = Prepare(
+            view=self.view, seq=seq, batch_digest=batch_digest,
+            replica=self.replica_id, attestation=attestation)
+        self.in_flight.add(seq)
+        self.broadcast(preprepare)
+        self._check_committed(seq)
+
+    # ---------------------------------------------------------------- phases
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        if preprepare.view < self.view:
+            return
+        if preprepare.primary != self.primary_of(preprepare.view):
+            return
+        expected_component = f"tc/{self.ctx.replica_names[preprepare.primary]}"
+        if not self.verify_preprepare_attestation(preprepare, expected_component):
+            return
+        inst = self.instance(preprepare.seq, preprepare.view)
+        if inst.preprepare is not None and inst.batch_digest != preprepare.batch_digest:
+            return
+        if inst.preprepare is None:
+            inst.preprepare = preprepare
+            inst.batch = preprepare.batch
+            inst.batch_digest = preprepare.batch_digest
+            inst.view = preprepare.view
+            inst.prepared = True
+        inst.prepares[preprepare.primary] = Prepare(
+            view=preprepare.view, seq=preprepare.seq,
+            batch_digest=preprepare.batch_digest, replica=preprepare.primary,
+            attestation=preprepare.attestation)
+        if self.replica_id not in inst.prepares:
+            # Bind our Prepare to our own trusted counter (the per-message UI).
+            own_attestation = self.trusted.counter_append(
+                MESSAGE_COUNTER, None, preprepare.batch_digest)
+            prepare = self.signed(Prepare(
+                view=preprepare.view, seq=preprepare.seq,
+                batch_digest=preprepare.batch_digest, replica=self.replica_id,
+                attestation=own_attestation))
+            inst.prepares[self.replica_id] = prepare
+            self.broadcast(prepare)
+        self._check_committed(preprepare.seq)
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        if prepare.view < self.view:
+            return
+        inst = self.instance(prepare.seq, prepare.view)
+        inst.prepares[prepare.replica] = prepare
+        self._check_committed(prepare.seq)
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        """MinBFT has no Commit phase; stray messages are ignored."""
+
+    # --------------------------------------------------------------- quorums
+    def commit_quorum(self) -> int:
+        """Matching Prepare votes needed to commit (f + 1 — the weak quorum)."""
+        return self.f + 1
+
+    def view_change_completion_quorum(self) -> int:
+        return self.f + 1
+
+    def _check_committed(self, seq: SeqNum) -> None:
+        inst = self.instances.get(seq)
+        if inst is None or inst.committed or inst.batch is None:
+            return
+        matching = sum(1 for p in inst.prepares.values()
+                       if p.batch_digest == inst.batch_digest)
+        if matching >= self.commit_quorum():
+            self.mark_committed(seq, inst.batch, inst.view)

@@ -1,0 +1,5 @@
+"""minzz protocol implementation."""
+
+from .replica import MinZzReplica
+
+__all__ = ["MinZzReplica"]

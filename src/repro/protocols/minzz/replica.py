@@ -1,0 +1,88 @@
+"""MinZZ: single-phase speculative trust-bft consensus (Section 4.2).
+
+n = 2f + 1 replicas with trusted counters.  The primary binds a batch to its
+counter and broadcasts; replicas verify the attestation, bind their own reply
+to their counter, execute speculatively in sequence order and answer the
+client directly.  The client needs matching replies from *all* n = 2f + 1
+replicas to complete on the fast path — which is why a single unresponsive
+replica pushes every request onto the slow path (Figure 7).
+
+The slow path mirrors Zyzzyva's: a client holding at least f + 1 matching
+replies broadcasts a commit certificate, replicas acknowledge, and f + 1
+acknowledgements complete the request.
+"""
+
+from __future__ import annotations
+
+from ...common.errors import ProtocolError
+from ..base import BaseReplica
+from ..messages import Commit, PrePrepare, Prepare, RequestBatch
+
+ORDER_COUNTER = 0
+MESSAGE_COUNTER = 1
+
+
+class MinZzReplica(BaseReplica):
+    """One MinZZ replica."""
+
+    protocol_name = "minzz"
+    speculative = True
+
+    def __init__(self, replica_id, ctx) -> None:
+        super().__init__(replica_id, ctx)
+        if self.trusted is None:
+            raise ProtocolError("MinZZ requires a trusted component at every replica")
+
+    # ------------------------------------------------------------- proposing
+    def propose_batch(self, batch: RequestBatch) -> None:
+        """Bind, broadcast and speculatively execute the batch."""
+        batch_digest = batch.digest()
+        self.charge(self.costs.hash_us * max(1, len(batch)))
+        attestation = self.trusted.counter_append(ORDER_COUNTER, None, batch_digest)
+        seq = attestation.value
+        self.next_seq = max(self.next_seq, seq)
+        preprepare = self.signed(PrePrepare(
+            view=self.view, seq=seq, batch=batch, batch_digest=batch_digest,
+            primary=self.replica_id, attestation=attestation))
+        inst = self.instance(seq, self.view)
+        inst.batch = batch
+        inst.batch_digest = batch_digest
+        inst.preprepare = preprepare
+        inst.prepared = True
+        inst.committed = True
+        self.in_flight.add(seq)
+        self.broadcast(preprepare)
+        self.executable[seq] = (batch, self.view)
+        self.try_execute(speculative=True)
+
+    # ---------------------------------------------------------------- phases
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        if preprepare.view < self.view:
+            return
+        if preprepare.primary != self.primary_of(preprepare.view):
+            return
+        expected_component = f"tc/{self.ctx.replica_names[preprepare.primary]}"
+        if not self.verify_preprepare_attestation(preprepare, expected_component):
+            return
+        inst = self.instance(preprepare.seq, preprepare.view)
+        if inst.preprepare is not None:
+            return
+        inst.preprepare = preprepare
+        inst.batch = preprepare.batch
+        inst.batch_digest = preprepare.batch_digest
+        inst.view = preprepare.view
+        inst.prepared = True
+        inst.committed = True
+        # Bind the speculative reply to this replica's own trusted counter.
+        self.trusted.counter_append(MESSAGE_COUNTER, None, preprepare.batch_digest)
+        self.executable[preprepare.seq] = (preprepare.batch, preprepare.view)
+        self.try_execute(speculative=True)
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        """MinZZ has no Prepare phase; stray messages are ignored."""
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        """MinZZ has no Commit phase; stray messages are ignored."""
+
+    def view_change_completion_quorum(self) -> int:
+        return self.f + 1

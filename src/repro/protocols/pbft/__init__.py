@@ -1,0 +1,5 @@
+"""Pbft protocol implementation."""
+
+from .replica import PbftReplica
+
+__all__ = ["PbftReplica"]

@@ -1,0 +1,120 @@
+"""Pbft: the classic three-phase BFT protocol (Section 3).
+
+n = 3f + 1 replicas, no trusted components.  The primary assigns sequence
+numbers; replicas exchange Prepare and Commit votes and commit once 2f + 1
+matching votes arrive in each phase.  Consensus instances proceed in parallel
+(the protocol is the paper's exemplar of "traditional parallel bft").
+
+Implementation notes: the primary's Preprepare counts as its Prepare vote (a
+standard implementation shortcut), and its first Commit vote is broadcast as
+soon as the batch prepares, exactly like the textbook protocol.
+"""
+
+from __future__ import annotations
+
+from ...common.types import SeqNum, ViewNum
+from ..base import BaseReplica
+from ..messages import Commit, PrePrepare, Prepare, RequestBatch
+
+
+class PbftReplica(BaseReplica):
+    """One Pbft replica."""
+
+    protocol_name = "pbft"
+
+    # ------------------------------------------------------------- proposing
+    def propose_batch(self, batch: RequestBatch) -> None:
+        """Assign the next sequence number and broadcast the Preprepare."""
+        self.next_seq += 1
+        seq = self.next_seq
+        batch_digest = batch.digest()
+        self.charge(self.costs.hash_us * max(1, len(batch)))
+        preprepare = self.signed(PrePrepare(
+            view=self.view, seq=seq, batch=batch, batch_digest=batch_digest,
+            primary=self.replica_id))
+        inst = self.instance(seq, self.view)
+        inst.batch = batch
+        inst.batch_digest = batch_digest
+        inst.preprepare = preprepare
+        self.in_flight.add(seq)
+        # The primary's proposal doubles as its Prepare vote.
+        inst.prepares[self.replica_id] = Prepare(
+            view=self.view, seq=seq, batch_digest=batch_digest,
+            replica=self.replica_id)
+        self.broadcast(preprepare)
+
+    # ---------------------------------------------------------------- phases
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        if preprepare.view < self.view:
+            return
+        if preprepare.primary != self.primary_of(preprepare.view):
+            return
+        inst = self.instance(preprepare.seq, preprepare.view)
+        if inst.preprepare is not None and inst.batch_digest != preprepare.batch_digest:
+            # Conflicting proposal for the same slot: ignore (the view change
+            # will deal with an equivocating primary).
+            return
+        if inst.preprepare is None:
+            inst.preprepare = preprepare
+            inst.batch = preprepare.batch
+            inst.batch_digest = preprepare.batch_digest
+            inst.view = preprepare.view
+        # Count the primary's implicit Prepare and our own, then vote.
+        inst.prepares[preprepare.primary] = Prepare(
+            view=preprepare.view, seq=preprepare.seq,
+            batch_digest=preprepare.batch_digest, replica=preprepare.primary)
+        if self.replica_id not in inst.prepares:
+            prepare = self.signed(Prepare(
+                view=preprepare.view, seq=preprepare.seq,
+                batch_digest=preprepare.batch_digest, replica=self.replica_id))
+            inst.prepares[self.replica_id] = prepare
+            self.broadcast(prepare)
+        self._check_prepared(preprepare.seq)
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        if prepare.view < self.view:
+            return
+        inst = self.instance(prepare.seq, prepare.view)
+        inst.prepares[prepare.replica] = prepare
+        self._check_prepared(prepare.seq)
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        if commit.view < self.view:
+            return
+        inst = self.instance(commit.seq, commit.view)
+        inst.commits[commit.replica] = commit
+        self._check_committed(commit.seq)
+
+    # --------------------------------------------------------------- quorums
+    def prepare_quorum(self) -> int:
+        """Matching Prepare votes needed to mark a batch prepared."""
+        return 2 * self.f + 1
+
+    def commit_quorum(self) -> int:
+        """Matching Commit votes needed to mark a batch committed."""
+        return 2 * self.f + 1
+
+    def _check_prepared(self, seq: SeqNum) -> None:
+        inst = self.instances.get(seq)
+        if inst is None or inst.prepared or inst.batch_digest is None:
+            return
+        matching = sum(1 for p in inst.prepares.values()
+                       if p.batch_digest == inst.batch_digest)
+        if matching < self.prepare_quorum():
+            return
+        inst.prepared = True
+        commit = self.signed(Commit(
+            view=inst.view, seq=seq, batch_digest=inst.batch_digest,
+            replica=self.replica_id))
+        inst.commits[self.replica_id] = commit
+        self.broadcast(commit)
+        self._check_committed(seq)
+
+    def _check_committed(self, seq: SeqNum) -> None:
+        inst = self.instances.get(seq)
+        if inst is None or inst.committed or inst.batch is None:
+            return
+        matching = sum(1 for c in inst.commits.values()
+                       if c.batch_digest == inst.batch_digest)
+        if matching >= self.commit_quorum():
+            self.mark_committed(seq, inst.batch, inst.view)

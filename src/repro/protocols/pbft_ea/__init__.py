@@ -1,0 +1,5 @@
+"""Pbft-EA and Opbft-ea protocol implementations."""
+
+from .replica import OpbftEaReplica, PbftEaReplica
+
+__all__ = ["OpbftEaReplica", "PbftEaReplica"]

@@ -1,0 +1,174 @@
+"""Pbft-EA: three-phase trust-bft consensus over attested logs (Section 4.2).
+
+n = 2f + 1 replicas, each with a trusted append-only log.  Every message a
+replica sends (Preprepare at the primary, Prepare and Commit everywhere) is
+first appended to the sender's trusted log and travels with the resulting
+attestation.  Quorums shrink to f + 1 because the logs preclude equivocation,
+but the protocol keeps all three Pbft phases.
+
+``OpbftEaReplica`` is the paper's Opbft-ea variant: identical message flow,
+but consensus invocations may proceed in parallel.  To let the trusted log
+accept out-of-order appends, each sequence number uses its own log identifier,
+so concurrent instances never contend for the same slot (the replicas still
+pay one trusted access per message, which is what bottlenecks the protocol in
+Figure 6(i)).
+"""
+
+from __future__ import annotations
+
+from ...common.errors import ProtocolError, SlotOccupied
+from ...common.types import SeqNum
+from ..base import BaseReplica
+from ..messages import Commit, PrePrepare, Prepare, RequestBatch
+
+#: log identifiers per phase (the paper gives each phase its own log).
+PREPREPARE_LOG = 0
+PREPARE_LOG = 1
+COMMIT_LOG = 2
+
+
+class PbftEaReplica(BaseReplica):
+    """One Pbft-EA replica (sequential consensus invocations)."""
+
+    protocol_name = "pbft-ea"
+    #: Opbft-ea overrides this to decouple instances in the trusted log.
+    parallel_logs = False
+
+    def __init__(self, replica_id, ctx) -> None:
+        super().__init__(replica_id, ctx)
+        if self.trusted is None:
+            raise ProtocolError("Pbft-EA requires a trusted component at every replica")
+
+    # ----------------------------------------------------------- log helpers
+    def _log_id(self, base_log: int, seq: SeqNum) -> int:
+        if self.parallel_logs:
+            # One log per (phase, sequence number): appends never conflict.
+            return base_log * 1_000_000 + seq
+        return base_log
+
+    def _append(self, base_log: int, seq: SeqNum, payload_digest: bytes):
+        log_id = self._log_id(base_log, seq)
+        slot = None if self.parallel_logs else seq
+        try:
+            return self.trusted.log_append(log_id, slot, payload_digest)
+        except SlotOccupied:
+            # A sequential trusted log refuses to go backwards; the consensus
+            # instance for this sequence number cannot make progress here.
+            return None
+
+    # ------------------------------------------------------------- proposing
+    def propose_batch(self, batch: RequestBatch) -> None:
+        batch_digest = batch.digest()
+        self.charge(self.costs.hash_us * max(1, len(batch)))
+        self.next_seq += 1
+        seq = self.next_seq
+        attestation = self._append(PREPREPARE_LOG, seq, batch_digest)
+        if attestation is None:
+            return
+        preprepare = self.signed(PrePrepare(
+            view=self.view, seq=seq, batch=batch, batch_digest=batch_digest,
+            primary=self.replica_id, attestation=attestation))
+        inst = self.instance(seq, self.view)
+        inst.batch = batch
+        inst.batch_digest = batch_digest
+        inst.preprepare = preprepare
+        inst.prepares[self.replica_id] = Prepare(
+            view=self.view, seq=seq, batch_digest=batch_digest,
+            replica=self.replica_id, attestation=attestation)
+        self.in_flight.add(seq)
+        self.broadcast(preprepare)
+
+    # ---------------------------------------------------------------- phases
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        if preprepare.view < self.view:
+            return
+        if preprepare.primary != self.primary_of(preprepare.view):
+            return
+        expected_component = f"tc/{self.ctx.replica_names[preprepare.primary]}"
+        if not self.verify_preprepare_attestation(preprepare, expected_component):
+            return
+        inst = self.instance(preprepare.seq, preprepare.view)
+        if inst.preprepare is not None and inst.batch_digest != preprepare.batch_digest:
+            return
+        if inst.preprepare is None:
+            inst.preprepare = preprepare
+            inst.batch = preprepare.batch
+            inst.batch_digest = preprepare.batch_digest
+            inst.view = preprepare.view
+        inst.prepares[preprepare.primary] = Prepare(
+            view=preprepare.view, seq=preprepare.seq,
+            batch_digest=preprepare.batch_digest, replica=preprepare.primary,
+            attestation=preprepare.attestation)
+        if self.replica_id not in inst.prepares:
+            attestation = self._append(PREPARE_LOG, preprepare.seq,
+                                       preprepare.batch_digest)
+            if attestation is None:
+                return
+            prepare = self.signed(Prepare(
+                view=preprepare.view, seq=preprepare.seq,
+                batch_digest=preprepare.batch_digest, replica=self.replica_id,
+                attestation=attestation))
+            inst.prepares[self.replica_id] = prepare
+            self.broadcast(prepare)
+        self._check_prepared(preprepare.seq)
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        if prepare.view < self.view:
+            return
+        inst = self.instance(prepare.seq, prepare.view)
+        inst.prepares[prepare.replica] = prepare
+        self._check_prepared(prepare.seq)
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        if commit.view < self.view:
+            return
+        inst = self.instance(commit.seq, commit.view)
+        inst.commits[commit.replica] = commit
+        self._check_committed(commit.seq)
+
+    # --------------------------------------------------------------- quorums
+    def prepare_quorum(self) -> int:
+        """Matching Prepare votes needed to mark a batch prepared (f + 1)."""
+        return self.f + 1
+
+    def commit_quorum(self) -> int:
+        """Matching Commit votes needed to commit (f + 1)."""
+        return self.f + 1
+
+    def view_change_completion_quorum(self) -> int:
+        return self.f + 1
+
+    def _check_prepared(self, seq: SeqNum) -> None:
+        inst = self.instances.get(seq)
+        if inst is None or inst.prepared or inst.batch_digest is None:
+            return
+        matching = sum(1 for p in inst.prepares.values()
+                       if p.batch_digest == inst.batch_digest)
+        if matching < self.prepare_quorum():
+            return
+        inst.prepared = True
+        attestation = self._append(COMMIT_LOG, seq, inst.batch_digest)
+        if attestation is None:
+            return
+        commit = self.signed(Commit(
+            view=inst.view, seq=seq, batch_digest=inst.batch_digest,
+            replica=self.replica_id, attestation=attestation))
+        inst.commits[self.replica_id] = commit
+        self.broadcast(commit)
+        self._check_committed(seq)
+
+    def _check_committed(self, seq: SeqNum) -> None:
+        inst = self.instances.get(seq)
+        if inst is None or inst.committed or inst.batch is None:
+            return
+        matching = sum(1 for c in inst.commits.values()
+                       if c.batch_digest == inst.batch_digest)
+        if matching >= self.commit_quorum():
+            self.mark_committed(seq, inst.batch, inst.view)
+
+
+class OpbftEaReplica(PbftEaReplica):
+    """Opbft-ea: Pbft-EA with parallel consensus invocations (Section 9.2)."""
+
+    protocol_name = "opbft-ea"
+    parallel_logs = True

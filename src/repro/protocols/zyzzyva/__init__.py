@@ -1,0 +1,5 @@
+"""zyzzyva protocol implementation."""
+
+from .replica import ZyzzyvaReplica
+
+__all__ = ["ZyzzyvaReplica"]

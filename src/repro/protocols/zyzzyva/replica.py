@@ -1,0 +1,67 @@
+"""Zyzzyva: speculative single-phase BFT without trusted components.
+
+n = 3f + 1 replicas.  The primary orders requests and broadcasts; replicas
+speculatively execute in sequence order and answer the client directly.  The
+fast path completes when the client receives matching replies from **all**
+3f + 1 replicas; with even one unresponsive replica, every request falls back
+to the two-phase slow path (client-assembled commit certificate of 2f + 1
+replies, acknowledged by 2f + 1 replicas), which is why Zyzzyva's throughput
+collapses under a single failure in Figure 7.
+"""
+
+from __future__ import annotations
+
+from ..base import BaseReplica
+from ..messages import Commit, PrePrepare, Prepare, RequestBatch
+
+
+class ZyzzyvaReplica(BaseReplica):
+    """One Zyzzyva replica."""
+
+    protocol_name = "zyzzyva"
+    speculative = True
+
+    # ------------------------------------------------------------- proposing
+    def propose_batch(self, batch: RequestBatch) -> None:
+        """Order the batch, broadcast, and speculatively execute it locally."""
+        self.next_seq += 1
+        seq = self.next_seq
+        batch_digest = batch.digest()
+        self.charge(self.costs.hash_us * max(1, len(batch)))
+        preprepare = self.signed(PrePrepare(
+            view=self.view, seq=seq, batch=batch, batch_digest=batch_digest,
+            primary=self.replica_id))
+        inst = self.instance(seq, self.view)
+        inst.batch = batch
+        inst.batch_digest = batch_digest
+        inst.preprepare = preprepare
+        inst.prepared = True
+        inst.committed = True
+        self.in_flight.add(seq)
+        self.broadcast(preprepare)
+        self.executable[seq] = (batch, self.view)
+        self.try_execute(speculative=True)
+
+    # ---------------------------------------------------------------- phases
+    def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:
+        if preprepare.view < self.view:
+            return
+        if preprepare.primary != self.primary_of(preprepare.view):
+            return
+        inst = self.instance(preprepare.seq, preprepare.view)
+        if inst.preprepare is not None:
+            return
+        inst.preprepare = preprepare
+        inst.batch = preprepare.batch
+        inst.batch_digest = preprepare.batch_digest
+        inst.view = preprepare.view
+        inst.prepared = True
+        inst.committed = True
+        self.executable[preprepare.seq] = (preprepare.batch, preprepare.view)
+        self.try_execute(speculative=True)
+
+    def on_prepare(self, prepare: Prepare, source: str) -> None:
+        """Zyzzyva has no Prepare phase; stray messages are ignored."""
+
+    def on_commit(self, commit: Commit, source: str) -> None:
+        """Zyzzyva has no Commit phase; stray messages are ignored."""

@@ -1,0 +1,45 @@
+"""Deployment building, metrics and experiment definitions."""
+
+from .deployment import Deployment, RunResult, build_deployment
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentScale,
+    PAPER_SCALE,
+    SMALL_SCALE,
+    build_config,
+    figure5_trusted_counter_costs,
+    figure6_batching,
+    figure6_scalability,
+    figure6_throughput_latency,
+    figure6_wan,
+    figure7_failure,
+    figure8_hardware_sweep,
+    figure9_throughput_per_machine,
+    print_rows,
+    run_point,
+)
+from .metrics import CompletionRecord, MetricsCollector, RunMetrics
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "CompletionRecord",
+    "Deployment",
+    "ExperimentScale",
+    "MetricsCollector",
+    "PAPER_SCALE",
+    "RunMetrics",
+    "RunResult",
+    "SMALL_SCALE",
+    "build_config",
+    "build_deployment",
+    "figure5_trusted_counter_costs",
+    "figure6_batching",
+    "figure6_scalability",
+    "figure6_throughput_latency",
+    "figure6_wan",
+    "figure7_failure",
+    "figure8_hardware_sweep",
+    "figure9_throughput_per_machine",
+    "print_rows",
+    "run_point",
+]

@@ -1,0 +1,222 @@
+"""Deployment builder: replicas + clients + network for one protocol run.
+
+A :class:`Deployment` wires every substrate together from a single
+:class:`~repro.common.config.DeploymentConfig`: it creates the simulator, the
+key store, the topology and network, one replica (with state machine, worker
+pool and — when the protocol needs it — a trusted component and its timed
+device) per seat, and the closed-loop clients.  Experiments then either call
+:meth:`run_until_target` for throughput measurements or drive the simulator
+directly for attack scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..common.config import DeploymentConfig, sequential_variant
+from ..common.types import ConsensusMode, Micros
+from ..crypto.keystore import KeyStore
+from ..execution.kvstore import KeyValueStore
+from ..execution.safety import SafetyMonitor
+from ..net.network import Network
+from ..net.topology import build_topology
+from ..protocols.base import BaseReplica, ReplicaContext
+from ..protocols.registry import ProtocolSpec, get_protocol
+from ..sim.kernel import Simulator
+from ..sim.resources import SerialDevice
+from ..sim.rng import RngRegistry
+from ..trusted.component import TrustedComponentHost
+from ..workload.client import Client
+from ..workload.ycsb import YcsbWorkload
+from .metrics import MetricsCollector, RunMetrics
+
+ReplicaFactory = Callable[[int, ReplicaContext], BaseReplica]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one deployment run."""
+
+    metrics: RunMetrics
+    sim_time_s: float
+    events: int
+    messages_sent: int
+    trusted_accesses: int
+    consensus_safe: bool
+    rsm_safe: bool
+    per_replica_executed: dict[int, int] = field(default_factory=dict)
+
+    def as_row(self) -> dict:
+        """Flat dictionary used by the experiment tables."""
+        row = self.metrics.as_row()
+        row.update({
+            "sim_time_s": round(self.sim_time_s, 3),
+            "messages_sent": self.messages_sent,
+            "trusted_accesses": self.trusted_accesses,
+            "consensus_safe": self.consensus_safe,
+        })
+        return row
+
+
+class Deployment:
+    """A fully wired deployment of one protocol."""
+
+    def __init__(self, config: DeploymentConfig,
+                 replica_factory: Optional[ReplicaFactory] = None,
+                 spec: Optional[ProtocolSpec] = None) -> None:
+        self.config = config
+        self.spec = spec if spec is not None else get_protocol(config.protocol)
+        self.n = self.spec.replicas(config.f)
+        config.validate(self.n)
+        self.f = config.f
+
+        protocol_config = config.protocol_config
+        if self.spec.consensus_mode is ConsensusMode.SEQUENTIAL:
+            protocol_config = sequential_variant(protocol_config)
+        self.protocol_config = protocol_config
+
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.experiment.seed)
+        self.keystore = KeyStore(seed=config.experiment.seed)
+        self.metrics = MetricsCollector()
+
+        self.replica_names = [f"replica-{i}" for i in range(self.n)]
+        self.client_names = [f"client-{i}" for i in range(config.workload.num_clients)]
+
+        topology = build_topology(self.replica_names, self.client_names,
+                                  config.network.region_names,
+                                  config.network.intra_region_latency_us)
+        self.topology = topology
+        self.network = Network(self.sim, topology, self.rng,
+                               jitter_fraction=config.network.jitter_fraction,
+                               per_message_wire_us=config.network.per_message_wire_us)
+
+        byzantine = set(config.faults.byzantine)
+        crashed = set(config.faults.crashed)
+        honest = frozenset(i for i in range(self.n)
+                           if i not in byzantine and i not in crashed)
+        self.safety = SafetyMonitor(honest_replicas=honest)
+
+        self.replicas: list[BaseReplica] = []
+        for replica_id in range(self.n):
+            replica = self._build_replica(replica_id, replica_factory)
+            self.replicas.append(replica)
+            self.network.register(replica)
+        for replica_id in crashed:
+            self.replicas[replica_id].crash()
+
+        self.clients: list[Client] = []
+        for index, name in enumerate(self.client_names):
+            workload = YcsbWorkload(config.workload,
+                                    self.rng.stream(f"workload/{name}"))
+            client = Client(
+                name=name, sim=self.sim, network=self.network,
+                keystore=self.keystore, workload=workload,
+                workload_config=config.workload,
+                replica_names=self.replica_names, f=self.f,
+                reply_policy=self.spec.reply_policy, sink=self.metrics,
+                request_timeout_us=protocol_config.request_timeout_us)
+            self.clients.append(client)
+            self.network.register(client)
+
+    # ------------------------------------------------------------- building
+    def _build_replica(self, replica_id: int,
+                       replica_factory: Optional[ReplicaFactory]) -> BaseReplica:
+        trusted = None
+        trusted_device = None
+        if self.spec.uses_trusted or replica_factory is not None:
+            tc_key = self.keystore.register(f"tc/{self.replica_names[replica_id]}")
+            trusted_device = SerialDevice(
+                self.sim, self.config.trusted_hardware.access_latency_us,
+                name=f"tc-device/{self.replica_names[replica_id]}")
+            trusted = TrustedComponentHost(tc_key, self.config.trusted_hardware,
+                                           trusted_device)
+        state_machine = KeyValueStore(records=self.config.workload.records,
+                                      value_size=self.config.workload.value_size)
+        ctx = ReplicaContext(
+            sim=self.sim, network=self.network, keystore=self.keystore,
+            crypto_costs=self.config.crypto,
+            protocol_config=self.protocol_config,
+            f=self.f, n=self.n, replica_names=self.replica_names,
+            client_names=self.client_names, state_machine=state_machine,
+            safety=self.safety, trusted=trusted, trusted_device=trusted_device,
+            trusted_spec=self.config.trusted_hardware,
+            one_way_latency_us=self._typical_one_way_latency())
+        if replica_factory is not None:
+            return replica_factory(replica_id, ctx)
+        return self.spec.build_replica(replica_id, ctx)
+
+    def _typical_one_way_latency(self) -> Micros:
+        """Median one-way latency from the initial primary to the other replicas."""
+        if self.n <= 1:
+            return self.config.network.intra_region_latency_us
+        latencies = sorted(
+            self.topology.latency_us(self.replica_names[0], name)
+            for name in self.replica_names[1:])
+        return latencies[len(latencies) // 2]
+
+    # -------------------------------------------------------------- running
+    def start_clients(self, stagger_us: Micros = 50.0) -> None:
+        """Start every client, staggered slightly to avoid lockstep."""
+        for index, client in enumerate(self.clients):
+            client.start(initial_delay_us=index * stagger_us)
+
+    def run_until_target(self, target_requests: Optional[int] = None,
+                         max_sim_time_us: Optional[Micros] = None) -> RunResult:
+        """Run until ``target_requests`` complete (or the time cap is hit)."""
+        experiment = self.config.experiment
+        if target_requests is None:
+            target_requests = ((experiment.warmup_batches + experiment.measured_batches)
+                               * self.protocol_config.batch_size)
+        if max_sim_time_us is None:
+            max_sim_time_us = experiment.max_sim_time_us
+        self.start_clients()
+        self.sim.run(until=max_sim_time_us,
+                     stop_when=lambda: self.metrics.completed_count >= target_requests)
+        warmup_fraction = experiment.warmup_batches / max(
+            1, experiment.warmup_batches + experiment.measured_batches)
+        return self.collect_result(warmup_fraction)
+
+    def run_for(self, duration_us: Micros) -> RunResult:
+        """Run for a fixed amount of simulated time (attack scenarios)."""
+        self.sim.run(until=duration_us)
+        return self.collect_result(warmup_fraction=0.0)
+
+    def collect_result(self, warmup_fraction: float = 0.1) -> RunResult:
+        """Snapshot metrics and substrate statistics into a :class:`RunResult`."""
+        trusted_accesses = sum(
+            replica.trusted.stats.total
+            for replica in self.replicas if replica.trusted is not None)
+        return RunResult(
+            metrics=self.metrics.summarise(warmup_fraction),
+            sim_time_s=self.sim.now / 1_000_000.0,
+            events=self.sim.events_processed,
+            messages_sent=self.network.stats.messages_sent,
+            trusted_accesses=trusted_accesses,
+            consensus_safe=self.safety.consensus_safe,
+            rsm_safe=self.safety.rsm_safe,
+            per_replica_executed={r.replica_id: r.stats.batches_executed
+                                  for r in self.replicas},
+        )
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def primary(self) -> BaseReplica:
+        """The replica leading view 0."""
+        return self.replicas[0]
+
+    def replica(self, replica_id: int) -> BaseReplica:
+        """Replica by identifier."""
+        return self.replicas[replica_id]
+
+    def honest_replicas(self) -> list[BaseReplica]:
+        """Replicas the safety monitor treats as honest."""
+        return [r for r in self.replicas
+                if r.replica_id in self.safety.honest_replicas]
+
+
+def build_deployment(config: DeploymentConfig,
+                     replica_factory: Optional[ReplicaFactory] = None) -> Deployment:
+    """Convenience constructor mirroring :class:`Deployment`."""
+    return Deployment(config, replica_factory=replica_factory)

@@ -1,0 +1,288 @@
+"""Experiment definitions reproducing every figure of the evaluation.
+
+Each ``figure*`` function builds the deployments, runs them, and returns a
+list of flat row dictionaries (one per plotted point / table cell) that the
+benchmark harness and the examples print.  The experiments accept an
+:class:`ExperimentScale` so the same code runs both at laptop scale (the
+default, used by the test-suite and benchmarks) and at paper scale (f up to
+32, 97 replicas, thousands of clients) when more time is available.
+
+Mapping to the paper (see DESIGN.md for the full index):
+
+* :func:`figure5_trusted_counter_costs`  — Figure 5 (bars a–g)
+* :func:`figure6_throughput_latency`     — Figure 6(i)
+* :func:`figure6_scalability`            — Figure 6(ii)/(iii)
+* :func:`figure6_batching`               — Figure 6(iv)/(v)
+* :func:`figure6_wan`                    — Figure 6(vi)/(vii)
+* :func:`figure7_failure`                — Figure 7
+* :func:`figure8_hardware_sweep`         — Figure 8
+* :func:`figure9_throughput_per_machine` — Figure 9
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+from ..common.config import (
+    DeploymentConfig,
+    ExperimentConfig,
+    FaultConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    SGX_ENCLAVE_COUNTER,
+    TrustedHardwareSpec,
+    WorkloadConfig,
+)
+from ..common.types import ms
+from ..core.instrumented import FIGURE5_BARS, instrumented_pbft_factory
+from ..net.topology import PAPER_REGIONS
+from ..protocols.registry import get_protocol
+from .deployment import Deployment, RunResult
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs shared by every experiment."""
+
+    name: str
+    f: int = 1
+    f_values: tuple[int, ...] = (1, 2, 3)
+    num_clients: int = 60
+    client_values: tuple[int, ...] = (20, 60, 120)
+    batch_size: int = 20
+    batch_values: tuple[int, ...] = (5, 20, 50, 100)
+    warmup_batches: int = 3
+    measured_batches: int = 12
+    regions_max: int = 6
+    wan_f: int = 1
+    tc_latencies_ms: tuple[float, ...] = (0.025, 1.0, 2.5, 10.0, 30.0)
+    protocols: tuple[str, ...] = (
+        "pbft-ea", "minbft", "minzz", "opbft-ea", "flexi-bft", "flexi-zz",
+        "pbft", "zyzzyva", "oflexi-bft", "oflexi-zz")
+    core_protocols: tuple[str, ...] = (
+        "pbft", "pbft-ea", "minbft", "minzz", "flexi-bft", "flexi-zz")
+    worker_threads: int = 8
+    max_sim_seconds: float = 60.0
+
+
+#: Laptop-scale defaults used by the benchmarks and tests.
+SMALL_SCALE = ExperimentScale(name="small")
+
+#: Closer to the paper's setup (f = 8 default, f up to 32, 97 replicas).
+PAPER_SCALE = ExperimentScale(
+    name="paper", f=8, f_values=(4, 8, 16, 24, 32),
+    num_clients=4000, client_values=(1000, 4000, 16000, 40000, 80000),
+    batch_size=100, batch_values=(10, 100, 500, 1000, 5000),
+    warmup_batches=10, measured_batches=100, wan_f=20,
+    tc_latencies_ms=(1.0, 1.5, 2.0, 2.5, 3.0, 10.0, 30.0, 100.0, 200.0),
+    worker_threads=16, max_sim_seconds=300.0)
+
+
+# ---------------------------------------------------------------------------
+# shared runner
+# ---------------------------------------------------------------------------
+def build_config(protocol: str, scale: ExperimentScale, *,
+                 f: Optional[int] = None,
+                 num_clients: Optional[int] = None,
+                 batch_size: Optional[int] = None,
+                 regions: tuple[str, ...] = ("san-jose",),
+                 hardware: TrustedHardwareSpec = SGX_ENCLAVE_COUNTER,
+                 crashed: tuple[int, ...] = (),
+                 worker_threads: Optional[int] = None,
+                 seed: int = 1) -> DeploymentConfig:
+    """Build the deployment configuration for one experiment point."""
+    return DeploymentConfig(
+        protocol=protocol,
+        f=scale.f if f is None else f,
+        trusted_hardware=hardware,
+        network=NetworkConfig(region_names=regions),
+        workload=WorkloadConfig(
+            num_clients=scale.num_clients if num_clients is None else num_clients,
+            records=2000),
+        protocol_config=ProtocolConfig(
+            batch_size=scale.batch_size if batch_size is None else batch_size,
+            worker_threads=scale.worker_threads if worker_threads is None else worker_threads,
+            checkpoint_interval=200),
+        faults=FaultConfig(crashed=crashed),
+        experiment=ExperimentConfig(
+            warmup_batches=scale.warmup_batches,
+            measured_batches=scale.measured_batches,
+            max_sim_time_us=scale.max_sim_seconds * 1_000_000.0,
+            seed=seed),
+    )
+
+
+def run_point(config: DeploymentConfig, replica_factory=None) -> RunResult:
+    """Build and run one deployment, returning its result."""
+    deployment = Deployment(config, replica_factory=replica_factory)
+    return deployment.run_until_target()
+
+
+def _row(protocol: str, result: RunResult, **extra) -> dict:
+    row = {"protocol": protocol}
+    row.update(extra)
+    row.update(result.as_row())
+    return row
+
+
+def print_rows(title: str, rows: list[dict]) -> None:
+    """Print experiment rows as an aligned text table."""
+    print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    widths = {k: max(len(str(k)), max(len(str(r.get(k, ""))) for r in rows))
+              for k in keys}
+    print("  ".join(str(k).ljust(widths[k]) for k in keys))
+    for row in rows:
+        print("  ".join(str(row.get(k, "")).ljust(widths[k]) for k in keys))
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: trusted counter / signature attestation costs on Pbft
+# ---------------------------------------------------------------------------
+def figure5_trusted_counter_costs(scale: ExperimentScale = SMALL_SCALE,
+                                  hardware: TrustedHardwareSpec = SGX_ENCLAVE_COUNTER) -> list[dict]:
+    """Peak Pbft throughput for each of the seven bars (single worker)."""
+    rows = []
+    for usage in FIGURE5_BARS:
+        config = build_config("pbft", scale, worker_threads=1, hardware=hardware)
+        result = run_point(config, replica_factory=instrumented_pbft_factory(usage))
+        rows.append(_row("pbft", result, bar=usage.label,
+                         configuration=usage.description))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(i): throughput vs latency as the client population grows
+# ---------------------------------------------------------------------------
+def figure6_throughput_latency(scale: ExperimentScale = SMALL_SCALE,
+                               protocols: Optional[Iterable[str]] = None) -> list[dict]:
+    """Throughput/latency pairs per protocol as offered load increases."""
+    rows = []
+    for protocol in (protocols or scale.protocols):
+        for clients in scale.client_values:
+            config = build_config(protocol, scale, num_clients=clients)
+            result = run_point(config)
+            rows.append(_row(protocol, result, clients=clients))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(ii)/(iii): scalability in the number of replicas
+# ---------------------------------------------------------------------------
+def figure6_scalability(scale: ExperimentScale = SMALL_SCALE,
+                        protocols: Optional[Iterable[str]] = None) -> list[dict]:
+    """Throughput and latency as ``f`` (and hence n) grows."""
+    rows = []
+    for protocol in (protocols or scale.core_protocols):
+        spec = get_protocol(protocol)
+        for f in scale.f_values:
+            config = build_config(protocol, scale, f=f)
+            result = run_point(config)
+            rows.append(_row(protocol, result, f=f, n=spec.replicas(f)))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(iv)/(v): batching
+# ---------------------------------------------------------------------------
+def figure6_batching(scale: ExperimentScale = SMALL_SCALE,
+                     protocols: Optional[Iterable[str]] = None) -> list[dict]:
+    """Throughput and latency as the batch size grows."""
+    rows = []
+    for protocol in (protocols or scale.core_protocols):
+        for batch_size in scale.batch_values:
+            clients = max(scale.num_clients, 6 * batch_size)
+            config = build_config(protocol, scale, batch_size=batch_size,
+                                  num_clients=clients)
+            result = run_point(config)
+            rows.append(_row(protocol, result, batch_size=batch_size))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 6(vi)/(vii): wide-area replication
+# ---------------------------------------------------------------------------
+def figure6_wan(scale: ExperimentScale = SMALL_SCALE,
+                protocols: Optional[Iterable[str]] = None) -> list[dict]:
+    """Throughput and latency as replicas spread over 1..6 regions."""
+    rows = []
+    for protocol in (protocols or scale.core_protocols):
+        for region_count in range(1, scale.regions_max + 1):
+            regions = PAPER_REGIONS[:region_count]
+            config = build_config(protocol, scale, f=scale.wan_f, regions=regions)
+            result = run_point(config)
+            rows.append(_row(protocol, result, regions=region_count))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: impact of a single non-primary replica failure
+# ---------------------------------------------------------------------------
+def figure7_failure(scale: ExperimentScale = SMALL_SCALE,
+                    protocols: Optional[Iterable[str]] = None,
+                    f_values: Optional[tuple[int, ...]] = None) -> list[dict]:
+    """Throughput/latency with one crashed non-primary replica."""
+    rows = []
+    protocols = tuple(protocols or ("flexi-zz", "minzz", "zyzzyva", "flexi-bft", "minbft"))
+    for protocol in protocols:
+        spec = get_protocol(protocol)
+        for f in (f_values or scale.f_values):
+            n = spec.replicas(f)
+            config = build_config(protocol, scale, f=f, crashed=(n - 1,))
+            result = run_point(config)
+            rows.append(_row(protocol, result, f=f, n=n, crashed=1))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: sweep of the trusted-hardware access latency
+# ---------------------------------------------------------------------------
+def figure8_hardware_sweep(scale: ExperimentScale = SMALL_SCALE,
+                           protocols: Optional[Iterable[str]] = None) -> list[dict]:
+    """Peak throughput versus trusted-counter access cost."""
+    rows = []
+    protocols = tuple(protocols or ("flexi-zz", "minzz", "minbft"))
+    for access_ms in scale.tc_latencies_ms:
+        hardware = SGX_ENCLAVE_COUNTER.with_latency(ms(access_ms))
+        for protocol in protocols:
+            config = build_config(protocol, scale, hardware=hardware)
+            result = run_point(config)
+            rows.append(_row(protocol, result, access_cost_ms=access_ms))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: throughput per machine
+# ---------------------------------------------------------------------------
+def figure9_throughput_per_machine(scale: ExperimentScale = SMALL_SCALE,
+                                   protocols: Optional[Iterable[str]] = None) -> list[dict]:
+    """Total throughput divided by the number of replicas, per ``f``."""
+    rows = []
+    protocols = tuple(protocols or ("flexi-zz", "minzz"))
+    for protocol in protocols:
+        spec = get_protocol(protocol)
+        for f in scale.f_values:
+            n = spec.replicas(f)
+            config = build_config(protocol, scale, f=f)
+            result = run_point(config)
+            row = _row(protocol, result, f=f, n=n)
+            row["throughput_per_machine"] = round(
+                row["throughput_tx_s"] / n, 1)
+            rows.append(row)
+    return rows
+
+
+ALL_EXPERIMENTS = {
+    "figure5": figure5_trusted_counter_costs,
+    "figure6_throughput": figure6_throughput_latency,
+    "figure6_scalability": figure6_scalability,
+    "figure6_batching": figure6_batching,
+    "figure6_wan": figure6_wan,
+    "figure7": figure7_failure,
+    "figure8": figure8_hardware_sweep,
+    "figure9": figure9_throughput_per_machine,
+}

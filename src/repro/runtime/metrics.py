@@ -1,0 +1,115 @@
+"""Throughput and latency measurement.
+
+Clients report every submission and completion to a :class:`MetricsCollector`.
+Experiments then ask for a :class:`RunMetrics` summary computed over a
+measurement window that excludes warmup: the paper reports averages over a
+180-second run with 60 seconds of warmup/cooldown trimmed (Section 9.2); the
+simulator works in completed-transaction counts instead, trimming the first
+``warmup_fraction`` of completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..common.types import MICROS_PER_SECOND, Micros, RequestId
+
+
+@dataclass(frozen=True)
+class CompletionRecord:
+    """One completed client request."""
+
+    client: str
+    request_id: RequestId
+    submitted_at: Micros
+    completed_at: Micros
+    operations: int
+
+    @property
+    def latency_us(self) -> Micros:
+        """Client-observed latency of the request."""
+        return self.completed_at - self.submitted_at
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates client-side submission and completion events."""
+
+    submissions: int = 0
+    completions: list[CompletionRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------- sink interface
+    def record_submission(self, client: str, request_id: RequestId,
+                          submitted_at: Micros, operations: int) -> None:
+        self.submissions += 1
+
+    def record_completion(self, client: str, request_id: RequestId,
+                          submitted_at: Micros, completed_at: Micros,
+                          operations: int) -> None:
+        self.completions.append(CompletionRecord(
+            client=client, request_id=request_id, submitted_at=submitted_at,
+            completed_at=completed_at, operations=operations))
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def completed_count(self) -> int:
+        """Number of completed requests so far."""
+        return len(self.completions)
+
+    def completed_operations(self) -> int:
+        """Number of completed operations (requests × ops per request)."""
+        return sum(record.operations for record in self.completions)
+
+    # -------------------------------------------------------------- summary
+    def summarise(self, warmup_fraction: float = 0.1) -> "RunMetrics":
+        """Compute throughput/latency over the post-warmup window."""
+        records = sorted(self.completions, key=lambda r: r.completed_at)
+        if not records:
+            return RunMetrics()
+        skip = int(len(records) * warmup_fraction)
+        kept = records[skip:] if skip < len(records) else records
+        window_start = kept[0].submitted_at
+        window_end = kept[-1].completed_at
+        duration_us = max(window_end - window_start, 1.0)
+        operations = sum(record.operations for record in kept)
+        latencies = sorted(record.latency_us for record in kept)
+        return RunMetrics(
+            completed_requests=len(kept),
+            completed_operations=operations,
+            duration_s=duration_us / MICROS_PER_SECOND,
+            throughput_tx_s=operations * MICROS_PER_SECOND / duration_us,
+            mean_latency_ms=sum(latencies) / len(latencies) / 1_000.0,
+            p50_latency_ms=_percentile(latencies, 0.5) / 1_000.0,
+            p99_latency_ms=_percentile(latencies, 0.99) / 1_000.0,
+        )
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary of one run: throughput plus latency distribution."""
+
+    completed_requests: int = 0
+    completed_operations: int = 0
+    duration_s: float = 0.0
+    throughput_tx_s: float = 0.0
+    mean_latency_ms: float = 0.0
+    p50_latency_ms: float = 0.0
+    p99_latency_ms: float = 0.0
+
+    def as_row(self) -> dict:
+        """Flat dictionary form used by the benchmark harness tables."""
+        return {
+            "throughput_tx_s": round(self.throughput_tx_s, 1),
+            "mean_latency_ms": round(self.mean_latency_ms, 3),
+            "p50_latency_ms": round(self.p50_latency_ms, 3),
+            "p99_latency_ms": round(self.p99_latency_ms, 3),
+            "completed_requests": self.completed_requests,
+        }
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]

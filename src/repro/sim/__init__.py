@@ -1,0 +1,15 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .kernel import Event, Simulator, Timer
+from .resources import ResourceStats, SerialDevice, WorkerPool
+from .rng import RngRegistry
+
+__all__ = [
+    "Event",
+    "ResourceStats",
+    "RngRegistry",
+    "SerialDevice",
+    "Simulator",
+    "Timer",
+    "WorkerPool",
+]

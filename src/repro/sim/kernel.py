@@ -1,0 +1,163 @@
+"""Deterministic discrete-event simulation kernel.
+
+The whole reproduction runs on simulated time: replicas, clients, the network
+and trusted hardware all schedule callbacks on a single :class:`Simulator`.
+The kernel is intentionally small — a binary heap of events ordered by
+``(time, sequence)`` — because millions of events are processed per
+experiment and predictability matters more than features.
+
+Two runs with the same configuration execute the same events in the same
+order; every source of randomness in the library draws from seeded
+``random.Random`` streams created by :class:`~repro.sim.rng.RngRegistry`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..common.errors import SimulationError
+from ..common.types import Micros
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events compare by ``(time, seq)`` so simultaneous events run in the order
+    they were scheduled, which keeps runs deterministic.
+    """
+
+    time: Micros
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with a simulated microsecond clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now: Micros = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> Micros:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: Micros, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} us in the past")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: Micros, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} us, clock already at {self._now} us")
+        event = Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: Optional[Micros] = None,
+            max_events: Optional[int] = None,
+            stop_when: Optional[Callable[[], bool]] = None) -> Micros:
+        """Drain the event queue.
+
+        The loop stops when the queue is empty, when simulated time would pass
+        ``until``, after ``max_events`` callbacks, or as soon as ``stop_when``
+        returns True (checked after every callback).  Returns the simulated
+        time at which the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        budget = max_events if max_events is not None else float("inf")
+        try:
+            while self._queue and budget > 0:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback()
+                self._events_processed += 1
+                budget -= 1
+                if stop_when is not None and stop_when():
+                    break
+            else:
+                if until is not None and not self._queue:
+                    # Idle until the requested horizon.
+                    self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_idle(self, max_events: Optional[int] = None) -> Micros:
+        """Run until no events remain; convenience wrapper around :meth:`run`."""
+        return self.run(until=None, max_events=max_events)
+
+
+class Timer:
+    """A restartable one-shot timer bound to a simulator.
+
+    Protocol replicas use timers for request timeouts, batch timeouts and
+    view-change timeouts.  ``restart`` cancels any pending expiry and arms the
+    timer again, which is the common "reset on progress" pattern.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while an expiry is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: Micros) -> None:
+        """Arm the timer if it is not already armed."""
+        if self.armed:
+            return
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: Micros) -> None:
+        """Cancel any pending expiry and arm the timer afresh."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer; a no-op if it is not armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

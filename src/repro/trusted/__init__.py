@@ -1,0 +1,23 @@
+"""Trusted component abstractions: counters, logs, FlexiTrust counters."""
+
+from .attestation import Attestation, make_attestation, verify_attestation
+from .component import TrustedAccessStats, TrustedComponentHost, TrustedSnapshot
+from .counter import CounterState, TrustedCounterSet
+from .flexi import CREATE_DIGEST, FlexiCounterState, FlexiTrustCounterSet
+from .log import LogState, TrustedLogSet
+
+__all__ = [
+    "Attestation",
+    "CREATE_DIGEST",
+    "CounterState",
+    "FlexiCounterState",
+    "FlexiTrustCounterSet",
+    "LogState",
+    "TrustedAccessStats",
+    "TrustedComponentHost",
+    "TrustedLogSet",
+    "TrustedSnapshot",
+    "TrustedCounterSet",
+    "make_attestation",
+    "verify_attestation",
+]

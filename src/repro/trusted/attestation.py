@@ -1,0 +1,81 @@
+"""Attestations produced by trusted components.
+
+The paper writes ``⟨Attest(q, k, x)⟩_t`` for a statement, signed by trusted
+component ``t``, that the ``q``-th counter (or log) binds value ``k`` to
+message ``x``.  :class:`Attestation` is that statement; it carries the
+component's identity, the counter/log identifier, the bound value, the digest
+of the attested payload, and the component's signature over all of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import InvalidAttestation
+from ..crypto.keystore import KeyStore, KeyStoreVerifier
+from ..crypto.signatures import Signature, SigningKey
+
+
+@dataclass(frozen=True)
+class Attestation:
+    """A signed binding of (counter, value) to a payload digest."""
+
+    component: str
+    counter_id: int
+    value: int
+    payload_digest: bytes
+    signature: Signature
+
+    def statement(self) -> dict:
+        """The signed portion of the attestation."""
+        return {
+            "component": self.component,
+            "counter_id": self.counter_id,
+            "value": self.value,
+            "payload_digest": self.payload_digest,
+        }
+
+
+def make_attestation(key: SigningKey, counter_id: int, value: int,
+                     payload_digest: bytes) -> Attestation:
+    """Create an attestation signed with the component's key."""
+    statement = {
+        "component": key.identity,
+        "counter_id": counter_id,
+        "value": value,
+        "payload_digest": payload_digest,
+    }
+    return Attestation(
+        component=key.identity,
+        counter_id=counter_id,
+        value=value,
+        payload_digest=payload_digest,
+        signature=key.sign(statement),
+    )
+
+
+def verify_attestation(verifier: KeyStore | KeyStoreVerifier,
+                       attestation: Attestation,
+                       expected_component: Optional[str] = None,
+                       expected_digest: Optional[bytes] = None) -> None:
+    """Check an attestation's signature and, optionally, its contents.
+
+    Raises :class:`InvalidAttestation` when the signature does not verify,
+    when it was produced by a different component than expected, or when the
+    attested payload digest differs from the expected digest.  Replicas call
+    this before accepting any Preprepare that claims a trusted sequence
+    number.
+    """
+    if expected_component is not None and attestation.component != expected_component:
+        raise InvalidAttestation(
+            f"attestation from {attestation.component!r}, expected "
+            f"{expected_component!r}")
+    if expected_digest is not None and attestation.payload_digest != expected_digest:
+        raise InvalidAttestation("attestation binds a different payload digest")
+    if attestation.signature.signer != attestation.component:
+        raise InvalidAttestation("attestation signer does not match component")
+    try:
+        verifier.verify(attestation.statement(), attestation.signature)
+    except Exception as exc:
+        raise InvalidAttestation(f"attestation signature invalid: {exc}") from exc

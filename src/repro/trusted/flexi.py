@@ -1,0 +1,95 @@
+"""FlexiTrust counters: ``AppendF`` and ``Create`` (Section 8.1).
+
+The FlexiTrust protocols restrict the counter API in one crucial way: the
+*component* chooses the next value (always ``current + 1``), the caller cannot
+supply one.  This keeps sequence numbers contiguous, so a byzantine primary
+cannot propose a value far in the future and force honest replicas to fill the
+gap with no-ops.  ``Create`` mints a fresh counter (with an attested initial
+value) which a new primary uses after a view change to restart proposals at
+the right sequence number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.errors import TrustedComponentError
+from ..crypto.signatures import SigningKey
+from .attestation import Attestation, make_attestation
+
+#: digest attached to Create attestations — there is no payload to bind.
+CREATE_DIGEST = b"\x00" * 32
+
+
+@dataclass
+class FlexiCounterState:
+    """State of one FlexiTrust counter."""
+
+    value: int = 0
+    appends: int = 0
+
+
+@dataclass
+class FlexiTrustCounterSet:
+    """Bank of FlexiTrust counters owned by one trusted component."""
+
+    key: SigningKey
+    counters: dict[int, FlexiCounterState] = field(default_factory=dict)
+    _next_counter_id: int = 0
+
+    @property
+    def identity(self) -> str:
+        """Identity string of the owning trusted component."""
+        return self.key.identity
+
+    def value(self, counter_id: int = 0) -> int:
+        """Current value of a counter (0 if it was never used)."""
+        return self.counters.get(counter_id, FlexiCounterState()).value
+
+    def total_appends(self) -> int:
+        """Total number of AppendF operations across all counters."""
+        return sum(state.appends for state in self.counters.values())
+
+    def append_f(self, counter_id: int, payload_digest: bytes) -> Attestation:
+        """``AppendF(q, x)``: advance counter ``q`` by one and bind ``x``.
+
+        Unlike the trust-bft ``Append``, the caller never supplies a value:
+        the component increments internally, guaranteeing contiguous sequence
+        numbers.
+        """
+        state = self.counters.setdefault(counter_id, FlexiCounterState())
+        state.value += 1
+        state.appends += 1
+        return make_attestation(self.key, counter_id, state.value, payload_digest)
+
+    def create(self, initial_value: int = 0) -> tuple[int, Attestation]:
+        """``Create(k)``: mint a new counter starting at ``initial_value``.
+
+        Returns the fresh counter identifier and an attestation proving the
+        counter is new and starts at ``initial_value``.  Used by a new primary
+        after a view change to re-propose surviving requests starting at the
+        lowest sequence number it learned about.
+        """
+        if initial_value < 0:
+            raise TrustedComponentError("counter cannot start at a negative value")
+        while self._next_counter_id in self.counters:
+            # Counters may also appear through direct AppendF use; Create only
+            # ever hands out identifiers that were never used before.
+            self._next_counter_id += 1
+        counter_id = self._next_counter_id
+        self._next_counter_id += 1
+        self.counters[counter_id] = FlexiCounterState(value=initial_value)
+        return counter_id, make_attestation(self.key, counter_id, initial_value,
+                                             CREATE_DIGEST)
+
+    def snapshot(self) -> dict[int, int]:
+        """Copy of every counter value (rollback-attack surface)."""
+        return {cid: state.value for cid, state in self.counters.items()}
+
+    def restore(self, snapshot: dict[int, int]) -> None:
+        """Overwrite counter values from a snapshot (rollback primitive)."""
+        self.counters = {
+            cid: FlexiCounterState(value=value) for cid, value in snapshot.items()
+        }
+        if self.counters:
+            self._next_counter_id = max(self.counters) + 1

@@ -1,0 +1,14 @@
+"""Workload generation (YCSB) and closed-loop clients."""
+
+from .client import Client, ClientStats, CompletionSink
+from .ycsb import YcsbWorkload, preload_operations
+from .zipf import ZipfianGenerator
+
+__all__ = [
+    "Client",
+    "ClientStats",
+    "CompletionSink",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "preload_operations",
+]

@@ -1,0 +1,89 @@
+"""Integration tests for the Section 5–7 attack scenarios."""
+
+import pytest
+
+from repro.common.config import SGX_ENCLAVE_COUNTER, SGX_PERSISTENT_COUNTER
+from repro.core.attacks import (
+    run_responsiveness_attack,
+    run_rollback_attack,
+    run_sequentiality_demo,
+    sequential_throughput_bound,
+)
+
+
+class TestResponsiveness:
+    """Section 5: weak quorums break client responsiveness in trust-bft."""
+
+    @pytest.fixture(scope="class")
+    def minbft_report(self):
+        return run_responsiveness_attack("minbft", f=2, duration_s=2.0)
+
+    @pytest.fixture(scope="class")
+    def pbft_report(self):
+        return run_responsiveness_attack("pbft", f=2, duration_s=2.0)
+
+    def test_minbft_client_never_completes(self, minbft_report):
+        assert not minbft_report.client_completed
+        assert not minbft_report.responsive
+
+    def test_minbft_consensus_still_commits_at_one_honest_replica(self, minbft_report):
+        assert minbft_report.honest_replicas_executed == 1
+
+    def test_minbft_view_change_cannot_gather_enough_votes(self, minbft_report):
+        assert minbft_report.view_changes_completed == 0
+        assert minbft_report.view_change_votes < minbft_report.f + 1 + 1
+
+    def test_pbft_recovers_and_stays_responsive(self, pbft_report):
+        assert pbft_report.client_completed
+        assert pbft_report.honest_replicas_executed >= pbft_report.f + 1
+
+    def test_pbft_uses_view_change_to_recover(self, pbft_report):
+        assert pbft_report.view_changes_completed >= 1
+
+    def test_reports_record_required_quorums(self, minbft_report, pbft_report):
+        assert minbft_report.required_responses == minbft_report.f + 1
+        assert pbft_report.required_responses == pbft_report.f + 1
+
+
+class TestRollback:
+    """Section 6: volatile trusted state enables equivocation."""
+
+    def test_volatile_hardware_leads_to_safety_violation(self):
+        report = run_rollback_attack(SGX_ENCLAVE_COUNTER)
+        assert report.rollback_succeeded
+        assert report.safety_violated
+        assert report.conflicting_digests_at_seq1 == 2
+        assert report.violations
+
+    def test_clients_would_accept_both_conflicting_transactions(self):
+        report = run_rollback_attack(SGX_ENCLAVE_COUNTER)
+        assert report.responses_for_first >= 2   # f + 1 with f = 1
+        assert report.responses_for_second >= 2
+
+    def test_persistent_hardware_defeats_the_attack(self):
+        report = run_rollback_attack(SGX_PERSISTENT_COUNTER)
+        assert not report.rollback_succeeded
+        assert not report.safety_violated
+        assert report.conflicting_digests_at_seq1 <= 1
+
+
+class TestSequentiality:
+    """Section 7: trusted counters force sequential consensus."""
+
+    def test_out_of_order_binding_rejected(self):
+        report = run_sequentiality_demo()
+        assert report.out_of_order_rejected
+        assert report.stalled_seq == 1
+
+    def test_parallel_estimate_beats_sequential_bound(self):
+        report = run_sequentiality_demo(outstanding=32)
+        assert report.parallel_speedup == pytest.approx(32.0)
+
+    def test_bound_formula_matches_paper_example(self):
+        # Section 9.9: at 10 ms per access, 10 k tx/s = batch(100) x 1 s / 10 ms.
+        assert sequential_throughput_bound(100, 1, 10_000.0) == pytest.approx(10_000.0)
+
+    def test_bound_scales_with_batch_and_phases(self):
+        one_phase = sequential_throughput_bound(100, 1, 1_000.0)
+        three_phases = sequential_throughput_bound(100, 3, 1_000.0)
+        assert one_phase == pytest.approx(3 * three_phases)

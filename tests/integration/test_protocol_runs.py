@@ -1,0 +1,150 @@
+"""End-to-end integration tests: every protocol commits, executes and replies.
+
+Each test builds a small deployment (f = 1), drives it with closed-loop
+clients, and checks the paper's Section 2 guarantees: consensus safety, RSM
+safety (identical state digests on honest replicas for equal prefixes), and
+client progress.
+"""
+
+import pytest
+
+from repro.common.config import (
+    DeploymentConfig,
+    ExperimentConfig,
+    ProtocolConfig,
+    WorkloadConfig,
+)
+from repro.protocols import protocol_names
+from repro.runtime import Deployment
+
+ALL_PROTOCOLS = sorted(protocol_names())
+
+
+def small_config(protocol: str, f: int = 1, clients: int = 20, batch: int = 5,
+                 seed: int = 3) -> DeploymentConfig:
+    return DeploymentConfig(
+        protocol=protocol, f=f,
+        workload=WorkloadConfig(num_clients=clients, records=100),
+        protocol_config=ProtocolConfig(batch_size=batch, worker_threads=4,
+                                       checkpoint_interval=10),
+        experiment=ExperimentConfig(warmup_batches=1, measured_batches=8,
+                                    seed=seed),
+    )
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_protocol_completes_requests_and_stays_safe(protocol):
+    deployment = Deployment(small_config(protocol))
+    result = deployment.run_until_target(target_requests=60)
+    assert deployment.metrics.completed_count >= 60
+    assert result.metrics.completed_requests >= 48
+    assert result.consensus_safe
+    assert result.rsm_safe
+    assert result.metrics.throughput_tx_s > 0
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_honest_replicas_execute_identical_prefixes(protocol):
+    deployment = Deployment(small_config(protocol))
+    deployment.run_until_target(target_requests=40)
+    executed = [r.ledger.last_executed for r in deployment.replicas]
+    common_prefix = min(executed)
+    assert common_prefix >= 1
+    for seq in range(1, common_prefix + 1):
+        digests = {r.ledger.entry(seq).batch_digest for r in deployment.replicas
+                   if r.ledger.entry(seq) is not None}
+        assert len(digests) == 1
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+def test_clients_receive_enough_matching_replies(protocol):
+    deployment = Deployment(small_config(protocol, clients=6))
+    deployment.run_until_target(target_requests=24)
+    for client in deployment.clients:
+        assert client.stats.completed >= 1
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "minbft", "flexi-bft", "flexi-zz"])
+def test_runs_are_deterministic(protocol):
+    first = Deployment(small_config(protocol, seed=11)).run_until_target(40)
+    second = Deployment(small_config(protocol, seed=11)).run_until_target(40)
+    assert first.metrics.throughput_tx_s == pytest.approx(second.metrics.throughput_tx_s)
+    assert first.events == second.events
+    assert first.messages_sent == second.messages_sent
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "minbft", "flexi-bft"])
+def test_different_seeds_change_schedules_but_not_safety(protocol):
+    a = Deployment(small_config(protocol, seed=1)).run_until_target(40)
+    b = Deployment(small_config(protocol, seed=2)).run_until_target(40)
+    assert a.consensus_safe and b.consensus_safe
+
+
+class TestTrustedAccessPatterns:
+    def test_flexitrust_touches_hardware_once_per_batch_at_primary_only(self):
+        deployment = Deployment(small_config("flexi-bft"))
+        deployment.run_until_target(target_requests=40)
+        primary = deployment.primary
+        proposed = primary.stats.batches_proposed
+        # One Create plus one AppendF per proposed batch at the primary.
+        assert primary.trusted.stats.flexi_appends == proposed
+        assert primary.trusted.stats.creates == 1
+        for replica in deployment.replicas[1:]:
+            assert replica.trusted.stats.total == 0
+
+    def test_minbft_touches_hardware_at_every_replica(self):
+        deployment = Deployment(small_config("minbft"))
+        deployment.run_until_target(target_requests=40)
+        for replica in deployment.replicas:
+            assert replica.trusted.stats.counter_appends > 0
+
+    def test_pbft_never_touches_hardware(self):
+        deployment = Deployment(small_config("pbft"))
+        result = deployment.run_until_target(target_requests=40)
+        assert result.trusted_accesses == 0
+
+    def test_pbft_ea_uses_logs_not_counters(self):
+        deployment = Deployment(small_config("pbft-ea"))
+        deployment.run_until_target(target_requests=40)
+        primary = deployment.primary
+        assert primary.trusted.stats.log_appends > 0
+        assert primary.trusted.stats.counter_appends == 0
+
+
+class TestSequentialVsParallel:
+    def test_sequential_protocols_keep_single_instance_in_flight(self):
+        deployment = Deployment(small_config("minbft", clients=40))
+        deployment.start_clients()
+        max_in_flight = 0
+
+        def sample():
+            nonlocal max_in_flight
+            max_in_flight = max(max_in_flight, len(deployment.primary.in_flight))
+            deployment.sim.schedule(200.0, sample)
+
+        deployment.sim.schedule(200.0, sample)
+        deployment.sim.run(until=100_000.0)
+        assert max_in_flight <= 1
+
+    def test_parallel_protocols_overlap_instances(self):
+        deployment = Deployment(small_config("pbft", clients=60, batch=5))
+        deployment.start_clients()
+        max_in_flight = 0
+
+        def sample():
+            nonlocal max_in_flight
+            max_in_flight = max(max_in_flight, len(deployment.primary.in_flight))
+            deployment.sim.schedule(100.0, sample)
+
+        deployment.sim.schedule(100.0, sample)
+        deployment.sim.run(until=100_000.0)
+        assert max_in_flight > 1
+
+
+class TestCheckpointing:
+    @pytest.mark.parametrize("protocol", ["pbft", "minbft", "flexi-bft"])
+    def test_checkpoints_become_stable_and_truncate(self, protocol):
+        deployment = Deployment(small_config(protocol, clients=30))
+        deployment.run_until_target(target_requests=120)
+        stable = [r.ledger.stable_checkpoint for r in deployment.replicas]
+        assert max(stable) >= 10

@@ -1,0 +1,79 @@
+"""Property-based tests over whole protocol deployments.
+
+These tests run small deployments under randomly drawn configurations
+(protocol, fault threshold, batch size, crashed replica, seed) and check the
+paper's Section 2 safety definitions on every run.  They are the closest thing
+to a randomized schedule explorer the repository has: the seed changes message
+jitter and workload, the crash changes which replicas participate, and the
+invariants must hold regardless.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import (
+    DeploymentConfig,
+    ExperimentConfig,
+    FaultConfig,
+    ProtocolConfig,
+    WorkloadConfig,
+)
+from repro.protocols import get_protocol
+from repro.runtime import Deployment
+
+PROTOCOL_NAMES = ["pbft", "minbft", "minzz", "pbft-ea", "flexi-bft", "flexi-zz"]
+
+deployment_settings = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+
+
+def build(protocol, seed, batch, crash_last):
+    spec = get_protocol(protocol)
+    n = spec.replicas(1)
+    crashed = (n - 1,) if crash_last else ()
+    return Deployment(DeploymentConfig(
+        protocol=protocol, f=1,
+        workload=WorkloadConfig(num_clients=12, records=64),
+        protocol_config=ProtocolConfig(batch_size=batch, worker_threads=2,
+                                       checkpoint_interval=20),
+        faults=FaultConfig(crashed=crashed),
+        experiment=ExperimentConfig(warmup_batches=1, measured_batches=5,
+                                    seed=seed),
+    ))
+
+
+@given(protocol=st.sampled_from(PROTOCOL_NAMES),
+       seed=st.integers(min_value=0, max_value=10_000),
+       batch=st.integers(min_value=1, max_value=8),
+       crash_last=st.booleans())
+@deployment_settings
+def test_consensus_and_rsm_safety_hold_under_random_configurations(
+        protocol, seed, batch, crash_last):
+    deployment = build(protocol, seed, batch, crash_last)
+    result = deployment.run_until_target(target_requests=24)
+    assert result.consensus_safe
+    assert result.rsm_safe
+    assert deployment.metrics.completed_count >= 24
+
+
+@given(protocol=st.sampled_from(PROTOCOL_NAMES),
+       seed=st.integers(min_value=0, max_value=10_000))
+@deployment_settings
+def test_executed_prefixes_agree_across_replicas(protocol, seed):
+    deployment = build(protocol, seed, batch=4, crash_last=False)
+    deployment.run_until_target(target_requests=24)
+    prefix = min(r.ledger.last_executed for r in deployment.replicas)
+    for seq in range(1, prefix + 1):
+        digests = {r.ledger.entry(seq).batch_digest for r in deployment.replicas}
+        assert len(digests) == 1
+
+
+@given(protocol=st.sampled_from(["flexi-bft", "flexi-zz"]),
+       seed=st.integers(min_value=0, max_value=10_000))
+@deployment_settings
+def test_flexitrust_sequence_numbers_are_contiguous(protocol, seed):
+    deployment = build(protocol, seed, batch=3, crash_last=False)
+    deployment.run_until_target(target_requests=24)
+    primary = deployment.primary
+    proposed = sorted(primary.instances)
+    assert proposed == list(range(1, len(proposed) + 1))

@@ -1,0 +1,115 @@
+"""Unit tests for the metrics collector and the protocol message types."""
+
+import pytest
+
+from repro.common.types import RequestId
+from repro.crypto import KeyStore
+from repro.execution.state_machine import Operation, OperationResult
+from repro.protocols.messages import (
+    ClientRequest,
+    Commit,
+    PrePrepare,
+    Prepare,
+    RequestBatch,
+    Response,
+    noop_batch,
+)
+from repro.runtime.metrics import MetricsCollector
+
+
+def make_request(client="client-0", number=1, key="user1"):
+    return ClientRequest(
+        request_id=RequestId(client=client, number=number),
+        operations=(Operation(action="write", key=key, value="v"),))
+
+
+class TestMetricsCollector:
+    def record(self, collector, count, start=0.0, gap=1_000.0, latency=500.0):
+        for i in range(count):
+            submitted = start + i * gap
+            collector.record_submission("client-0", RequestId("client-0", i),
+                                        submitted, 1)
+            collector.record_completion("client-0", RequestId("client-0", i),
+                                        submitted, submitted + latency, 1)
+
+    def test_empty_collector_summarises_to_zero(self):
+        metrics = MetricsCollector().summarise()
+        assert metrics.completed_requests == 0
+        assert metrics.throughput_tx_s == 0.0
+
+    def test_throughput_counts_operations_over_window(self):
+        collector = MetricsCollector()
+        self.record(collector, 100)
+        metrics = collector.summarise(warmup_fraction=0.0)
+        # 100 completions spaced 1 ms apart -> about 1000 tx/s.
+        assert metrics.throughput_tx_s == pytest.approx(1000.0, rel=0.05)
+
+    def test_warmup_fraction_trims_early_completions(self):
+        collector = MetricsCollector()
+        self.record(collector, 100)
+        trimmed = collector.summarise(warmup_fraction=0.2)
+        assert trimmed.completed_requests == 80
+
+    def test_latency_percentiles_ordered(self):
+        collector = MetricsCollector()
+        for i in range(50):
+            collector.record_completion("c", RequestId("c", i), 0.0,
+                                        100.0 * (i + 1), 1)
+        metrics = collector.summarise(warmup_fraction=0.0)
+        assert metrics.p50_latency_ms <= metrics.p99_latency_ms
+        assert metrics.mean_latency_ms > 0
+
+    def test_as_row_is_flat_and_rounded(self):
+        collector = MetricsCollector()
+        self.record(collector, 10)
+        row = collector.summarise(0.0).as_row()
+        assert set(row) == {"throughput_tx_s", "mean_latency_ms", "p50_latency_ms",
+                            "p99_latency_ms", "completed_requests"}
+
+
+class TestMessages:
+    def test_request_digest_changes_with_payload(self):
+        a = make_request(key="user1")
+        b = make_request(key="user2")
+        assert a.payload_digest() != b.payload_digest()
+
+    def test_batch_digest_commits_to_order(self):
+        r1, r2 = make_request(number=1), make_request(number=2)
+        forward = RequestBatch(requests=(r1, r2))
+        backward = RequestBatch(requests=(r2, r1))
+        assert forward.digest() != backward.digest()
+        assert len(forward) == 2
+
+    def test_client_request_signature_roundtrip(self):
+        store = KeyStore(seed=2)
+        key = store.register("client-0")
+        request = make_request()
+        signed = ClientRequest(request_id=request.request_id,
+                               operations=request.operations,
+                               signature=key.sign(request.signed_part()))
+        assert store.is_valid(signed.signed_part(), signed.signature)
+
+    def test_response_match_key_ignores_replica(self):
+        result = OperationResult(ok=True, value="v")
+        a = Response(request_id=RequestId("c", 1), seq=3, view=0, replica=0,
+                     result=result, result_digest=b"d")
+        b = Response(request_id=RequestId("c", 1), seq=3, view=0, replica=2,
+                     result=result, result_digest=b"d")
+        assert a.match_key() == b.match_key()
+
+    def test_vote_signed_parts_cover_identity_and_slot(self):
+        prepare = Prepare(view=1, seq=2, batch_digest=b"d", replica=3)
+        commit = Commit(view=1, seq=2, batch_digest=b"d", replica=3)
+        assert prepare.signed_part()["replica"] == 3
+        assert commit.signed_part()["seq"] == 2
+
+    def test_preprepare_signed_part_uses_batch_digest(self):
+        batch = RequestBatch(requests=(make_request(),))
+        preprepare = PrePrepare(view=0, seq=1, batch=batch,
+                                batch_digest=batch.digest(), primary=0)
+        assert preprepare.signed_part()["batch_digest"] == batch.digest()
+
+    def test_noop_batch_has_no_real_client(self):
+        batch = noop_batch()
+        assert len(batch) == 1
+        assert batch.requests[0].client.startswith("__")

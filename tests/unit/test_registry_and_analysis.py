@@ -1,0 +1,126 @@
+"""Unit tests for the protocol registry, Figure 1 analysis and FlexiTrust transform."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import ConsensusMode, ReplicationRegime, TrustedAbstraction
+from repro.core.analysis import figure1_table, format_table
+from repro.core.flexitrust import (
+    transform,
+    transformable_protocols,
+    trusted_accesses_per_batch,
+)
+from repro.protocols import PROTOCOLS, get_protocol, protocol_names
+from repro.protocols.registry import ReplyPolicy
+
+
+class TestRegistry:
+    def test_all_ten_protocols_registered(self):
+        expected = {"pbft", "zyzzyva", "pbft-ea", "opbft-ea", "minbft", "minzz",
+                    "flexi-bft", "flexi-zz", "oflexi-bft", "oflexi-zz"}
+        assert expected == set(protocol_names())
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_protocol("Flexi-BFT").name == "flexi-bft"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_protocol("raft")
+
+    def test_replication_factors(self):
+        assert get_protocol("pbft").replicas(8) == 25
+        assert get_protocol("minbft").replicas(8) == 17
+        assert get_protocol("flexi-zz").replicas(20) == 61
+
+    def test_trust_bft_protocols_are_sequential(self):
+        for name in ("pbft-ea", "minbft", "minzz"):
+            assert get_protocol(name).consensus_mode is ConsensusMode.SEQUENTIAL
+
+    def test_flexitrust_protocols_are_parallel_3f1(self):
+        for name in ("flexi-bft", "flexi-zz"):
+            spec = get_protocol(name)
+            assert spec.consensus_mode is ConsensusMode.PARALLEL
+            assert spec.regime is ReplicationRegime.THREE_F_PLUS_ONE
+            assert spec.only_primary_tc
+
+    def test_reply_policies_match_paper(self):
+        f, m = 8, 25
+        assert get_protocol("pbft").reply_policy.fast_quorum(m, f) == 9
+        assert get_protocol("flexi-bft").reply_policy.fast_quorum(m, f) == 9
+        assert get_protocol("flexi-zz").reply_policy.fast_quorum(m, f) == 17
+        assert get_protocol("zyzzyva").reply_policy.fast_quorum(m, f) == 25
+        assert get_protocol("minzz").reply_policy.fast_quorum(17, f) == 17
+
+    def test_reply_policy_rejects_unknown_rule(self):
+        with pytest.raises(ConfigurationError):
+            ReplyPolicy(fast_quorum_rule="all of them").fast_quorum(4, 1)
+
+    def test_phase_counts(self):
+        assert get_protocol("pbft").phases == 3
+        assert get_protocol("pbft-ea").phases == 3
+        assert get_protocol("minbft").phases == 2
+        assert get_protocol("flexi-bft").phases == 2
+        assert get_protocol("minzz").phases == 1
+        assert get_protocol("flexi-zz").phases == 1
+
+
+class TestFigure1:
+    def test_table_contains_trusted_protocols_only_by_default(self):
+        rows = {row.protocol for row in figure1_table()}
+        assert "Pbft" not in rows
+        assert {"MinBFT", "MinZZ", "Pbft-EA", "Flexi-BFT", "Flexi-ZZ"} <= rows
+
+    def test_flexitrust_rows_match_paper_claims(self):
+        rows = {row.protocol: row for row in figure1_table()}
+        for name in ("Flexi-BFT", "Flexi-ZZ"):
+            row = rows[name]
+            assert row.replicas == "3f+1"
+            assert row.bft_liveness
+            assert row.out_of_order
+            assert row.only_primary_tc
+            assert row.trusted_memory == "low"
+
+    def test_trust_bft_rows_match_paper_claims(self):
+        rows = {row.protocol: row for row in figure1_table()}
+        assert rows["Pbft-EA"].trusted_memory == "high"
+        assert not rows["MinBFT"].out_of_order
+        assert not rows["MinZZ"].bft_liveness
+        assert rows["MinBFT"].replicas == "2f+1"
+
+    def test_format_table_renders_every_row(self):
+        rows = figure1_table(include_baselines=True)
+        text = format_table(rows)
+        for row in rows:
+            assert row.protocol in text
+
+
+class TestTransformation:
+    def test_transformable_protocols_are_the_trust_bft_ones(self):
+        assert set(transformable_protocols()) == {"minbft", "minzz", "pbft-ea",
+                                                  "opbft-ea"}
+
+    def test_minbft_maps_to_flexi_bft(self):
+        assert transform("minbft").target.name == "flexi-bft"
+
+    def test_minzz_maps_to_flexi_zz(self):
+        assert transform("minzz").target.name == "flexi-zz"
+
+    def test_transformation_has_three_steps(self):
+        transformation = transform("minbft")
+        assert len(transformation.steps) == 3
+        assert "AppendF" in transformation.summary()
+
+    def test_bft_protocols_not_transformable(self):
+        with pytest.raises(ConfigurationError):
+            transform("pbft")
+        with pytest.raises(ConfigurationError):
+            transform("flexi-zz")
+
+    def test_trusted_access_counts_favour_flexitrust(self):
+        n = 17
+        flexi = trusted_accesses_per_batch(PROTOCOLS["flexi-bft"], n)
+        minbft = trusted_accesses_per_batch(PROTOCOLS["minbft"], n)
+        pbft = trusted_accesses_per_batch(PROTOCOLS["pbft"], n)
+        assert flexi == 1
+        assert minbft > flexi
+        assert pbft == 0

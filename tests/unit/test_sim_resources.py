@@ -1,0 +1,112 @@
+"""Unit tests for worker pools and serial (trusted hardware) devices."""
+
+import pytest
+
+from repro.sim import SerialDevice, Simulator, WorkerPool
+
+
+class TestWorkerPool:
+    def test_single_worker_serialises_jobs(self):
+        sim = Simulator()
+        pool = WorkerPool(sim, workers=1)
+        done = []
+        pool.submit(10.0, lambda: done.append(sim.now))
+        pool.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until_idle()
+        assert done == [10.0, 20.0]
+
+    def test_parallel_workers_overlap_jobs(self):
+        sim = Simulator()
+        pool = WorkerPool(sim, workers=4)
+        done = []
+        for _ in range(4):
+            pool.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until_idle()
+        assert done == [10.0] * 4
+
+    def test_queue_drains_in_fifo_order(self):
+        sim = Simulator()
+        pool = WorkerPool(sim, workers=1)
+        order = []
+        for tag in range(5):
+            pool.submit(1.0, lambda t=tag: order.append(t))
+        sim.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_zero_worker_pool_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            WorkerPool(sim, workers=0)
+
+    def test_stats_track_busy_time_and_jobs(self):
+        sim = Simulator()
+        pool = WorkerPool(sim, workers=2)
+        for _ in range(4):
+            pool.submit(5.0)
+        sim.run_until_idle()
+        assert pool.stats.jobs_completed == 4
+        assert pool.stats.busy_time_us == pytest.approx(20.0)
+        assert pool.stats.utilisation(sim.now, channels=2) == pytest.approx(1.0)
+
+    def test_queue_wait_recorded_when_saturated(self):
+        sim = Simulator()
+        pool = WorkerPool(sim, workers=1)
+        pool.submit(10.0)
+        pool.submit(10.0)
+        sim.run_until_idle()
+        assert pool.stats.mean_queue_wait_us() == pytest.approx(5.0)
+
+    def test_negative_service_time_clamped(self):
+        sim = Simulator()
+        pool = WorkerPool(sim, workers=1)
+        done = []
+        pool.submit(-5.0, lambda: done.append(sim.now))
+        sim.run_until_idle()
+        assert done == [0.0]
+
+
+class TestSerialDevice:
+    def test_reservations_serialise(self):
+        sim = Simulator()
+        device = SerialDevice(sim, access_latency_us=100.0)
+        first = device.reserve()
+        second = device.reserve()
+        assert first == pytest.approx(100.0)
+        assert second == pytest.approx(200.0)
+
+    def test_multi_operation_reservation(self):
+        sim = Simulator()
+        device = SerialDevice(sim, access_latency_us=50.0)
+        done = device.reserve(operations=3)
+        assert done == pytest.approx(150.0)
+        assert device.stats.jobs_completed == 3
+
+    def test_zero_operations_is_noop(self):
+        sim = Simulator()
+        device = SerialDevice(sim, access_latency_us=50.0)
+        assert device.reserve(operations=0) == sim.now
+        assert device.stats.jobs_completed == 0
+
+    def test_start_at_defers_reservation(self):
+        sim = Simulator()
+        device = SerialDevice(sim, access_latency_us=10.0)
+        done = device.reserve(start_at=500.0)
+        assert done == pytest.approx(510.0)
+
+    def test_reserve_and_call_schedules_callback(self):
+        sim = Simulator()
+        device = SerialDevice(sim, access_latency_us=30.0)
+        fired = []
+        device.reserve_and_call(lambda: fired.append(sim.now))
+        sim.run_until_idle()
+        assert fired == [30.0]
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            SerialDevice(sim, access_latency_us=-1.0)
+
+    def test_zero_latency_device_completes_immediately(self):
+        sim = Simulator()
+        device = SerialDevice(sim, access_latency_us=0.0)
+        assert device.reserve() == sim.now

@@ -1,0 +1,198 @@
+"""Unit tests for trusted counters, logs, FlexiTrust counters and rollback."""
+
+import pytest
+
+from repro.common.config import SGX_ENCLAVE_COUNTER, SGX_PERSISTENT_COUNTER, TPM_COUNTER
+from repro.common.errors import (
+    CounterRegression,
+    InvalidAttestation,
+    SlotOccupied,
+    TrustedComponentError,
+)
+from repro.crypto import KeyStore, digest
+from repro.trusted import (
+    FlexiTrustCounterSet,
+    TrustedComponentHost,
+    TrustedCounterSet,
+    TrustedLogSet,
+    verify_attestation,
+)
+
+
+@pytest.fixture
+def keystore():
+    return KeyStore(seed=9)
+
+
+@pytest.fixture
+def tc_key(keystore):
+    return keystore.register("tc/replica-0")
+
+
+class TestTrustedCounter:
+    def test_append_without_value_increments(self, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        a1 = counters.append(0, None, digest("x"))
+        a2 = counters.append(0, None, digest("y"))
+        assert (a1.value, a2.value) == (1, 2)
+
+    def test_append_with_explicit_value_jumps_forward(self, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        attestation = counters.append(0, 10, digest("x"))
+        assert attestation.value == 10
+        assert counters.value(0) == 10
+
+    def test_regression_rejected(self, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        counters.append(0, 5, digest("x"))
+        with pytest.raises(CounterRegression):
+            counters.append(0, 5, digest("y"))
+        with pytest.raises(CounterRegression):
+            counters.append(0, 3, digest("y"))
+
+    def test_independent_counters(self, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        counters.append(0, None, digest("x"))
+        counters.append(1, None, digest("y"))
+        assert counters.value(0) == 1
+        assert counters.value(1) == 1
+        assert counters.total_appends() == 2
+
+    def test_snapshot_and_restore(self, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        counters.append(0, None, digest("x"))
+        snapshot = counters.snapshot()
+        counters.append(0, None, digest("y"))
+        counters.restore(snapshot)
+        assert counters.value(0) == 1
+
+    def test_attestation_verifies(self, keystore, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        attestation = counters.append(0, None, digest("x"))
+        verify_attestation(keystore, attestation,
+                           expected_component="tc/replica-0",
+                           expected_digest=digest("x"))
+
+    def test_attestation_wrong_digest_rejected(self, keystore, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        attestation = counters.append(0, None, digest("x"))
+        with pytest.raises(InvalidAttestation):
+            verify_attestation(keystore, attestation, expected_digest=digest("y"))
+
+    def test_ensure_counter_refuses_duplicates(self, tc_key):
+        counters = TrustedCounterSet(key=tc_key)
+        counters.ensure_counter(3, initial=7)
+        assert counters.value(3) == 7
+        with pytest.raises(TrustedComponentError):
+            counters.ensure_counter(3)
+
+
+class TestTrustedLog:
+    def test_sequential_appends(self, tc_key):
+        logs = TrustedLogSet(key=tc_key)
+        a1 = logs.append(0, None, digest("x"))
+        a2 = logs.append(0, None, digest("y"))
+        assert (a1.value, a2.value) == (1, 2)
+
+    def test_skip_ahead_burns_slots(self, tc_key):
+        logs = TrustedLogSet(key=tc_key)
+        logs.append(0, 5, digest("x"))
+        with pytest.raises(SlotOccupied):
+            logs.append(0, 3, digest("y"))
+
+    def test_lookup_returns_attested_value(self, keystore, tc_key):
+        logs = TrustedLogSet(key=tc_key)
+        logs.append(0, None, digest("x"))
+        attestation = logs.lookup(0, 1)
+        assert attestation.payload_digest == digest("x")
+        verify_attestation(keystore, attestation)
+
+    def test_lookup_empty_slot_rejected(self, tc_key):
+        logs = TrustedLogSet(key=tc_key)
+        with pytest.raises(TrustedComponentError):
+            logs.lookup(0, 1)
+
+    def test_memory_tracking_and_truncation(self, tc_key):
+        logs = TrustedLogSet(key=tc_key)
+        for i in range(10):
+            logs.append(0, None, digest(i))
+        assert logs.memory_entries() == 10
+        dropped = logs.truncate_below(0, 6)
+        assert dropped == 5
+        assert logs.memory_entries() == 5
+
+    def test_snapshot_restore(self, tc_key):
+        logs = TrustedLogSet(key=tc_key)
+        logs.append(0, None, digest("x"))
+        snap = logs.snapshot()
+        logs.append(0, None, digest("y"))
+        logs.restore(snap)
+        assert logs.last_slot(0) == 1
+
+
+class TestFlexiCounter:
+    def test_append_f_is_contiguous(self, tc_key):
+        flexi = FlexiTrustCounterSet(key=tc_key)
+        values = [flexi.append_f(0, digest(i)).value for i in range(5)]
+        assert values == [1, 2, 3, 4, 5]
+
+    def test_create_returns_fresh_identifiers(self, tc_key):
+        flexi = FlexiTrustCounterSet(key=tc_key)
+        id1, att1 = flexi.create(0)
+        id2, att2 = flexi.create(10)
+        assert id1 != id2
+        assert att2.value == 10
+        assert flexi.append_f(id2, digest("x")).value == 11
+
+    def test_create_negative_initial_rejected(self, tc_key):
+        flexi = FlexiTrustCounterSet(key=tc_key)
+        with pytest.raises(TrustedComponentError):
+            flexi.create(-1)
+
+    def test_snapshot_restore_preserves_next_id(self, tc_key):
+        flexi = FlexiTrustCounterSet(key=tc_key)
+        cid, _ = flexi.create(0)
+        flexi.append_f(cid, digest("x"))
+        snap = flexi.snapshot()
+        flexi.append_f(cid, digest("y"))
+        flexi.restore(snap)
+        assert flexi.value(cid) == 1
+
+
+class TestTrustedComponentHost:
+    def test_volatile_hardware_allows_rollback(self, tc_key):
+        host = TrustedComponentHost(tc_key, SGX_ENCLAVE_COUNTER)
+        host.counter_append(0, None, digest("x"))
+        snapshot = host.snapshot()
+        host.counter_append(0, None, digest("y"))
+        host.rollback(snapshot)
+        assert host.counters.value(0) == 1
+
+    @pytest.mark.parametrize("spec", [SGX_PERSISTENT_COUNTER, TPM_COUNTER])
+    def test_persistent_hardware_refuses_rollback(self, tc_key, spec):
+        host = TrustedComponentHost(tc_key, spec)
+        host.counter_append(0, None, digest("x"))
+        snapshot = host.snapshot()
+        with pytest.raises(TrustedComponentError):
+            host.rollback(snapshot)
+
+    def test_pending_access_accounting(self, tc_key):
+        host = TrustedComponentHost(tc_key, SGX_ENCLAVE_COUNTER)
+        host.counter_append(0, None, digest("x"))
+        host.append_f(0, digest("y"))
+        assert host.take_pending_accesses() == 2
+        assert host.take_pending_accesses() == 0
+
+    def test_stats_track_operation_kinds(self, tc_key):
+        host = TrustedComponentHost(tc_key, SGX_ENCLAVE_COUNTER)
+        host.counter_append(0, None, digest("a"))
+        host.log_append(0, None, digest("b"))
+        host.log_lookup(0, 1)
+        host.append_f(0, digest("c"))
+        host.create_counter(5)
+        assert host.stats.counter_appends == 1
+        assert host.stats.log_appends == 1
+        assert host.stats.log_lookups == 1
+        assert host.stats.flexi_appends == 1
+        assert host.stats.creates == 1
+        assert host.stats.total == 5

@@ -1,0 +1,116 @@
+"""Unit tests for the zipfian generator, YCSB workload and configuration."""
+
+import random
+
+import pytest
+
+from repro.common.config import (
+    DeploymentConfig,
+    NetworkConfig,
+    ProtocolConfig,
+    WorkloadConfig,
+    sequential_variant,
+)
+from repro.common.errors import ConfigurationError
+from repro.workload import YcsbWorkload, ZipfianGenerator
+
+
+class TestZipfian:
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(100, 0.9, random.Random(1))
+        for value in gen.sample(500):
+            assert 0 <= value < 100
+
+    def test_skew_concentrates_on_small_keys(self):
+        gen = ZipfianGenerator(1000, 0.9, random.Random(1))
+        sample = gen.sample(3000)
+        top_fraction = sum(1 for v in sample if v < 100) / len(sample)
+        assert top_fraction > 0.5
+
+    def test_theta_zero_is_roughly_uniform(self):
+        gen = ZipfianGenerator(10, 0.0, random.Random(1))
+        sample = gen.sample(5000)
+        counts = [sample.count(i) for i in range(10)]
+        assert min(counts) > 300
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfianGenerator(0, 0.5, random.Random(1))
+        with pytest.raises(ConfigurationError):
+            ZipfianGenerator(10, 1.5, random.Random(1))
+
+    def test_deterministic_given_seed(self):
+        a = ZipfianGenerator(100, 0.9, random.Random(7)).sample(50)
+        b = ZipfianGenerator(100, 0.9, random.Random(7)).sample(50)
+        assert a == b
+
+
+class TestYcsbWorkload:
+    def make(self, write_fraction=0.5, seed=3):
+        config = WorkloadConfig(num_clients=1, records=100,
+                                write_fraction=write_fraction)
+        return YcsbWorkload(config, random.Random(seed))
+
+    def test_operations_reference_existing_keyspace(self):
+        workload = self.make()
+        for op in workload.next_operations(200):
+            assert op.key.startswith("user")
+            assert int(op.key[4:]) < 200  # zipfian can slightly overshoot bounds
+
+    def test_write_fraction_respected(self):
+        workload = self.make(write_fraction=1.0)
+        assert all(op.action == "write" for op in workload.next_operations(50))
+        workload = self.make(write_fraction=0.0)
+        assert all(op.action == "read" for op in workload.next_operations(50))
+
+    def test_write_values_have_configured_size(self):
+        workload = self.make(write_fraction=1.0)
+        op = workload.next_operation()
+        assert len(op.value) == WorkloadConfig().value_size
+
+    def test_generated_counter(self):
+        workload = self.make()
+        workload.next_operations(10)
+        assert workload.generated == 10
+
+
+class TestConfigValidation:
+    def test_default_config_validates(self):
+        config = DeploymentConfig(protocol="pbft", f=1)
+        config.validate(n=4)
+
+    def test_bad_write_fraction_rejected(self):
+        config = DeploymentConfig(workload=WorkloadConfig(write_fraction=1.5))
+        with pytest.raises(ConfigurationError):
+            config.validate(n=4)
+
+    def test_zero_clients_rejected(self):
+        config = DeploymentConfig(workload=WorkloadConfig(num_clients=0))
+        with pytest.raises(ConfigurationError):
+            config.validate(n=4)
+
+    def test_too_many_faults_rejected(self):
+        from repro.common.config import FaultConfig
+        config = DeploymentConfig(f=1, faults=FaultConfig(crashed=(0, 1)))
+        with pytest.raises(ConfigurationError):
+            config.validate(n=4)
+
+    def test_bad_batch_size_rejected(self):
+        config = DeploymentConfig(protocol_config=ProtocolConfig(batch_size=0))
+        with pytest.raises(ConfigurationError):
+            config.validate(n=4)
+
+    def test_bad_jitter_rejected(self):
+        config = DeploymentConfig(network=NetworkConfig(jitter_fraction=1.5))
+        with pytest.raises(ConfigurationError):
+            config.validate(n=4)
+
+    def test_sequential_variant_pins_outstanding(self):
+        config = ProtocolConfig(max_outstanding=64)
+        assert sequential_variant(config).max_outstanding == 1
+
+    def test_with_updates_is_functional(self):
+        config = DeploymentConfig(protocol="pbft", f=1)
+        updated = config.with_updates(protocol="minbft", f=2)
+        assert (updated.protocol, updated.f) == ("minbft", 2)
+        assert (config.protocol, config.f) == ("pbft", 1)

@@ -9,6 +9,8 @@ The package is organised bottom-up:
 * :mod:`repro.core` — the paper's contribution: the FlexiTrust transformation,
   the Figure 1 analysis, and the Section 5–7 attack scenarios.
 * :mod:`repro.runtime` — deployments, metrics, and the per-figure experiments.
+* :mod:`repro.sharding` — scale-out: many consensus groups over a partitioned
+  keyspace, driven by cross-shard clients.
 
 Quickstart::
 
@@ -51,8 +53,15 @@ from .runtime import (
     SMALL_SCALE,
     build_deployment,
 )
+from .sharding import (
+    ShardRouter,
+    ShardedConfig,
+    ShardedDeployment,
+    ShardedRunResult,
+    build_sharded_deployment,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CryptoCostModel",
@@ -70,11 +79,16 @@ __all__ = [
     "SGX_ENCLAVE_COUNTER",
     "SGX_PERSISTENT_COUNTER",
     "SMALL_SCALE",
+    "ShardRouter",
+    "ShardedConfig",
+    "ShardedDeployment",
+    "ShardedRunResult",
     "TPM_COUNTER",
     "TrustedHardwareSpec",
     "WorkloadConfig",
     "__version__",
     "build_deployment",
+    "build_sharded_deployment",
     "compare_responsiveness",
     "compare_rollback_hardware",
     "figure1_table",

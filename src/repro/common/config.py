@@ -136,6 +136,9 @@ class WorkloadConfig:
             raise ConfigurationError("need at least one client")
         if self.records <= 0:
             raise ConfigurationError("the store must hold at least one record")
+        if self.requests_per_client_message <= 0:
+            raise ConfigurationError(
+                "each client message must carry at least one request")
         if not 0.0 <= self.write_fraction <= 1.0:
             raise ConfigurationError("write fraction must be within [0, 1]")
         if not 0.0 <= self.zipf_theta < 1.0:

@@ -160,9 +160,17 @@ class BaseReplica:
         self.next_seq: SeqNum = 0
         self.instances: dict[SeqNum, Instance] = {}
         self.pending_requests: list[ClientRequest] = []
+        #: requests batched into a proposed-but-not-yet-executed instance; a
+        #: client resend arriving in that window must not be batched again
+        #: (it would execute twice — exactly-once).
+        self.proposed_requests: set[RequestId] = set()
         self.in_flight: set[SeqNum] = set()
         self.reply_cache: dict[RequestId, Response] = {}
-        self.request_client: dict[RequestId, str] = {}
+        #: most recent reply per client — survives garbage collection, so a
+        #: client whose replies were all lost can still learn the outcome of
+        #: its latest request long after the checkpoint pruned the caches
+        #: (closed-loop clients only ever resend their latest request).
+        self.latest_reply: dict[str, Response] = {}
         self.executable: dict[SeqNum, tuple[RequestBatch, ViewNum]] = {}
 
         # Fault behaviour.
@@ -256,6 +264,15 @@ class BaseReplica:
     # -------------------------------------------------------------- dispatch
     def dispatch(self, payload: object, source: str) -> None:
         """Route a message to its handler; unknown types raise ProtocolError."""
+        if (isinstance(payload, (PrePrepare, Prepare, Commit))
+                and payload.seq <= self.ledger.stable_checkpoint
+                and payload.seq <= self.ledger.last_executed):
+            # Low watermark: the sequence number is covered by a stable
+            # checkpoint and executed here, so a delayed phase message can
+            # only resurrect consensus state the garbage collector pruned.
+            # (Messages for unexecuted seqs still pass: a lagging replica
+            # has no state transfer and must catch up through them.)
+            return
         if isinstance(payload, ClientRequest):
             self.on_client_request(payload, source)
         elif isinstance(payload, ResendRequest):
@@ -360,12 +377,31 @@ class BaseReplica:
         return replace(message, signature=signature)
 
     # ----------------------------------------------------- client interaction
+    def cached_reply(self, request_id: RequestId) -> Optional[Response]:
+        """Reply for an already-executed request, if the replica still knows it."""
+        response = self.reply_cache.get(request_id)
+        if response is not None:
+            return response
+        latest = self.latest_reply.get(request_id.client)
+        if latest is not None and latest.request_id == request_id:
+            return latest
+        return None
+
+    def superseded(self, request_id: RequestId) -> bool:
+        """Whether the client already completed a request numbered at least
+        this one.  A stale copy of an older, GC-pruned request must be
+        dropped, not enqueued: re-executing it would resurrect an old write
+        over a newer one (exactly-once)."""
+        latest = self.latest_reply.get(request_id.client)
+        return latest is not None and latest.request_id.number >= request_id.number
+
     def on_client_request(self, request: ClientRequest, source: str) -> None:
         """Default client-request handling: batch at the primary, else forward."""
-        self.request_client[request.request_id] = request.client
-        cached = self.reply_cache.get(request.request_id)
+        cached = self.cached_reply(request.request_id)
         if cached is not None:
             self.send(request.client, cached)
+            return
+        if self.superseded(request.request_id):
             return
         if self.is_primary and not self.in_view_change:
             self.enqueue_request(request)
@@ -375,10 +411,11 @@ class BaseReplica:
     def on_resend_request(self, resend: ResendRequest, source: str) -> None:
         """A client re-broadcast: answer from cache or push towards the primary."""
         request = resend.request
-        self.request_client[request.request_id] = request.client
-        cached = self.reply_cache.get(request.request_id)
+        cached = self.cached_reply(request.request_id)
         if cached is not None:
             self.send(request.client, cached)
+            return
+        if self.superseded(request.request_id):
             return
         if self.is_primary and not self.in_view_change:
             self.enqueue_request(request)
@@ -390,6 +427,8 @@ class BaseReplica:
 
     def enqueue_request(self, request: ClientRequest) -> None:
         """Add a request to the primary's pending batch."""
+        if request.request_id in self.proposed_requests:
+            return
         if any(r.request_id == request.request_id for r in self.pending_requests):
             return
         self.pending_requests.append(request)
@@ -427,9 +466,27 @@ class BaseReplica:
             self.batch_timer.restart(self.config.batch_timeout_us)
 
     def _propose_next(self) -> None:
-        count = min(self.config.batch_size, len(self.pending_requests))
-        requests = tuple(self.pending_requests[:count])
-        del self.pending_requests[:count]
+        # Filter at the batching moment, not only at enqueue time: a request
+        # that sat in pending_requests across view changes may meanwhile have
+        # executed elsewhere (and its reply been GC'd) — re-proposing it
+        # would resurrect an old write over a newer one.
+        batchable: list[ClientRequest] = []
+        consumed = 0
+        for request in self.pending_requests:
+            consumed += 1
+            request_id = request.request_id
+            if (request_id in self.proposed_requests
+                    or self.superseded(request_id)
+                    or self.cached_reply(request_id) is not None):
+                continue
+            batchable.append(request)
+            if len(batchable) >= self.config.batch_size:
+                break
+        del self.pending_requests[:consumed]
+        if not batchable:
+            return
+        requests = tuple(batchable)
+        self.proposed_requests.update(r.request_id for r in requests)
         batch = RequestBatch(requests=requests)
         self.stats.batches_proposed += 1
         self.propose_batch(batch)
@@ -491,6 +548,7 @@ class BaseReplica:
         responses: list[tuple[str, Response]] = []
         op_count = 0
         for request in batch.requests:
+            self.proposed_requests.discard(request.request_id)
             request_results = tuple(self.state_machine.apply(op)
                                     for op in request.operations)
             op_count += len(request.operations)
@@ -546,6 +604,9 @@ class BaseReplica:
             result_digest=digest(results), speculative=speculative)
         response = self.signed(response)
         self.reply_cache[request.request_id] = response
+        latest = self.latest_reply.get(request.client)
+        if latest is None or latest.request_id.number <= request.request_id.number:
+            self.latest_reply[request.client] = response
         return response
 
     def _send_replies(self, responses: list[tuple[str, Response]],
@@ -594,6 +655,8 @@ class BaseReplica:
         self._record_checkpoint_vote(checkpoint)
 
     def _record_checkpoint_vote(self, checkpoint: Checkpoint) -> None:
+        if checkpoint.seq < self.ledger.stable_checkpoint:
+            return  # already covered by a stable checkpoint; don't resurrect logs
         votes = self.checkpoint_votes.setdefault(checkpoint.seq, {})
         votes[checkpoint.replica] = checkpoint.state_digest
         matching = sum(1 for d in votes.values() if d == checkpoint.state_digest)
@@ -601,6 +664,30 @@ class BaseReplica:
             self.ledger.mark_stable(checkpoint.seq)
             self.ledger.truncate_below(checkpoint.seq - self.config.checkpoint_interval)
             self.stats.checkpoints_taken += 1
+            self.garbage_collect(checkpoint.seq)
+
+    def garbage_collect(self, stable_seq: SeqNum) -> None:
+        """Prune message logs covered by the stable checkpoint at ``stable_seq``.
+
+        Everything executed at least one full checkpoint interval below the
+        stable checkpoint can never be needed again — not by a view change
+        (the checkpoint subsumes it) nor by a client resend (``latest_reply``
+        keeps each client's most recent reply independently of this pruning)
+        — so the per-request bookkeeping is dropped along with the consensus
+        instances.  This is what bounds a replica's memory on long runs.
+        """
+        cutoff = stable_seq - self.config.checkpoint_interval
+        for seq in [s for s, inst in self.instances.items()
+                    if inst.executed and s <= cutoff]:
+            inst = self.instances.pop(seq)
+            self.executable.pop(seq, None)
+            if inst.batch is not None:
+                for request in inst.batch.requests:
+                    self.reply_cache.pop(request.request_id, None)
+                    self.forwarded_requests.discard(request.request_id)
+                    self.proposed_requests.discard(request.request_id)
+        for seq in [s for s in self.checkpoint_votes if s < stable_seq]:
+            del self.checkpoint_votes[seq]
 
     def checkpoint_quorum(self) -> int:
         """Votes needed to declare a checkpoint stable (``f + 1``)."""
@@ -609,7 +696,7 @@ class BaseReplica:
     # ---------------------------------------------------- speculative helpers
     def on_commit_certificate(self, certificate: CommitCertificate, source: str) -> None:
         """Acknowledge a client commit certificate (speculative protocols)."""
-        response = self.reply_cache.get(certificate.request_id)
+        response = self.cached_reply(certificate.request_id)
         if response is None or response.result_digest != certificate.result_digest:
             return
         ack = self.signed(CommitAck(
@@ -741,8 +828,29 @@ class BaseReplica:
             raise ProtocolError("NewView sent by a replica that is not its primary")
         self.enter_view(new_view.view)
         self.stats.view_changes_completed += 1
+        # Re-arm the exactly-once window for every reissued request *after*
+        # enter_view, whose stale-instance cleanup just discarded the old
+        # view's ids — the same batches now live on in these proposals.
+        # Proposals this replica already executed are skipped: their execute
+        # discard already ran, and re-arming them would leak forever.
+        self.proposed_requests.update(
+            request.request_id
+            for proposal in new_view.proposals
+            if proposal.seq > self.ledger.last_executed
+            for request in proposal.batch.requests)
         for proposal in new_view.proposals:
             self.on_preprepare(proposal, source)
+        # Disarm ids of proposals on_preprepare rejected (e.g. a conflicting
+        # digest from a byzantine new-view primary): no instance will ever
+        # execute — and hence discard — them, and a permanently armed id
+        # would silently swallow that client's future requests here.
+        for proposal in new_view.proposals:
+            if proposal.seq <= self.ledger.last_executed:
+                continue
+            inst = self.instances.get(proposal.seq)
+            if inst is None or inst.batch_digest != proposal.batch_digest:
+                for request in proposal.batch.requests:
+                    self.proposed_requests.discard(request.request_id)
         # The new view's sequence numbering continues after the highest
         # re-proposed (or executed) slot; anything above that was abandoned.
         highest_reproposed = max((p.seq for p in new_view.proposals), default=0)
@@ -761,8 +869,13 @@ class BaseReplica:
         stale = [seq for seq, inst in self.instances.items()
                  if inst.view < self.view and not inst.committed and not inst.executed]
         for seq in stale:
-            del self.instances[seq]
+            inst = self.instances.pop(seq)
             self.executable.pop(seq, None)
+            if inst.batch is not None:
+                # The batch was abandoned: its requests may legitimately be
+                # re-proposed (by the new primary or after a client resend).
+                for request in inst.batch.requests:
+                    self.proposed_requests.discard(request.request_id)
 
     # --------------------------------------------------------- protocol hooks
     def on_preprepare(self, preprepare: PrePrepare, source: str) -> None:

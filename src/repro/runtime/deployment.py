@@ -34,6 +34,22 @@ from .metrics import MetricsCollector, RunMetrics
 ReplicaFactory = Callable[[int, ReplicaContext], BaseReplica]
 
 
+def measurement_warmup_fraction(experiment) -> float:
+    """Fraction of completions the measurement window trims as warmup."""
+    return experiment.warmup_batches / max(
+        1, experiment.warmup_batches + experiment.measured_batches)
+
+
+def substrate_columns(result) -> dict:
+    """Substrate columns shared by single-group and sharded result rows."""
+    return {
+        "sim_time_s": round(result.sim_time_s, 3),
+        "messages_sent": result.messages_sent,
+        "trusted_accesses": result.trusted_accesses,
+        "consensus_safe": result.consensus_safe,
+    }
+
+
 @dataclass
 class RunResult:
     """Outcome of one deployment run."""
@@ -50,21 +66,28 @@ class RunResult:
     def as_row(self) -> dict:
         """Flat dictionary used by the experiment tables."""
         row = self.metrics.as_row()
-        row.update({
-            "sim_time_s": round(self.sim_time_s, 3),
-            "messages_sent": self.messages_sent,
-            "trusted_accesses": self.trusted_accesses,
-            "consensus_safe": self.consensus_safe,
-        })
+        row.update(substrate_columns(self))
         return row
 
 
 class Deployment:
-    """A fully wired deployment of one protocol."""
+    """A fully wired deployment of one protocol.
+
+    By default a deployment owns every substrate it needs (simulator, rng
+    registry, key store).  A sharded deployment instead passes shared
+    substrates plus a ``name_prefix`` so several independent replica groups
+    coexist on one simulated timeline, and sets ``build_clients=False``
+    because its cross-shard clients are wired up separately.
+    """
 
     def __init__(self, config: DeploymentConfig,
                  replica_factory: Optional[ReplicaFactory] = None,
-                 spec: Optional[ProtocolSpec] = None) -> None:
+                 spec: Optional[ProtocolSpec] = None,
+                 sim: Optional[Simulator] = None,
+                 rng: Optional[RngRegistry] = None,
+                 keystore: Optional[KeyStore] = None,
+                 name_prefix: str = "",
+                 build_clients: bool = True) -> None:
         self.config = config
         self.spec = spec if spec is not None else get_protocol(config.protocol)
         self.n = self.spec.replicas(config.f)
@@ -76,13 +99,17 @@ class Deployment:
             protocol_config = sequential_variant(protocol_config)
         self.protocol_config = protocol_config
 
-        self.sim = Simulator()
-        self.rng = RngRegistry(config.experiment.seed)
-        self.keystore = KeyStore(seed=config.experiment.seed)
+        self.sim = sim if sim is not None else Simulator()
+        self.rng = rng if rng is not None else RngRegistry(config.experiment.seed)
+        self.keystore = keystore if keystore is not None else KeyStore(
+            seed=config.experiment.seed)
         self.metrics = MetricsCollector()
+        self.name_prefix = name_prefix
 
-        self.replica_names = [f"replica-{i}" for i in range(self.n)]
-        self.client_names = [f"client-{i}" for i in range(config.workload.num_clients)]
+        self.replica_names = [f"{name_prefix}replica-{i}" for i in range(self.n)]
+        self.client_names = ([f"{name_prefix}client-{i}"
+                              for i in range(config.workload.num_clients)]
+                             if build_clients else [])
 
         topology = build_topology(self.replica_names, self.client_names,
                                   config.network.region_names,
@@ -174,9 +201,7 @@ class Deployment:
         self.start_clients()
         self.sim.run(until=max_sim_time_us,
                      stop_when=lambda: self.metrics.completed_count >= target_requests)
-        warmup_fraction = experiment.warmup_batches / max(
-            1, experiment.warmup_batches + experiment.measured_batches)
-        return self.collect_result(warmup_fraction)
+        return self.collect_result(measurement_warmup_fraction(experiment))
 
     def run_for(self, duration_us: Micros) -> RunResult:
         """Run for a fixed amount of simulated time (attack scenarios)."""

@@ -22,7 +22,11 @@ Mapping to the paper (see DESIGN.md for the full index):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # runtime imports stay lazy (repro.sharding builds on repro.runtime)
+    from ..sharding.config import ShardedConfig
+    from ..sharding.deployment import ShardedRunResult
 
 from ..common.config import (
     DeploymentConfig,
@@ -132,7 +136,9 @@ def print_rows(title: str, rows: list[dict]) -> None:
     if not rows:
         print("(no rows)")
         return
-    keys = list(rows[0].keys())
+    # Union of keys in first-seen order: sharded rows gain per-shard columns
+    # as the shard count grows, and every column should be shown.
+    keys = list(dict.fromkeys(k for row in rows for k in row))
     widths = {k: max(len(str(k)), max(len(str(r.get(k, ""))) for r in rows))
               for k in keys}
     print("  ".join(str(k).ljust(widths[k]) for k in keys))
@@ -256,6 +262,56 @@ def figure8_hardware_sweep(scale: ExperimentScale = SMALL_SCALE,
 
 
 # ---------------------------------------------------------------------------
+# Sharding scale-out: aggregate throughput vs. number of consensus groups
+# ---------------------------------------------------------------------------
+def build_sharded_config(protocol: str, scale: ExperimentScale, *,
+                         num_shards: int,
+                         clients_per_shard: Optional[int] = None,
+                         hardware: TrustedHardwareSpec = SGX_ENCLAVE_COUNTER,
+                         seed: int = 1) -> "ShardedConfig":
+    """Sharded configuration with offered load proportional to the shard count."""
+    # Imported lazily: repro.sharding builds on repro.runtime, so a module-
+    # level import here would be circular.
+    from ..sharding.config import ShardedConfig
+
+    clients_per_shard = (scale.num_clients if clients_per_shard is None
+                         else clients_per_shard)
+    total_clients = clients_per_shard * num_shards
+    base = build_config(protocol, scale, num_clients=total_clients,
+                        hardware=hardware, seed=seed)
+    # num_clients is left to default from base.workload.num_clients — one
+    # source of truth for the offered load.
+    return ShardedConfig(base=base, num_shards=num_shards)
+
+
+def run_sharded_point(config: "ShardedConfig") -> "ShardedRunResult":
+    """Build and run one sharded deployment, returning its result."""
+    from ..sharding.deployment import ShardedDeployment
+
+    return ShardedDeployment(config).run_until_target()
+
+
+def figure_sharding_scaleout(scale: ExperimentScale = SMALL_SCALE,
+                             protocols: Optional[Iterable[str]] = None,
+                             shard_counts: tuple[int, ...] = (1, 2, 4)) -> list[dict]:
+    """Aggregate throughput as the number of consensus groups grows.
+
+    Keeps the offered load per shard constant (``scale.num_clients`` clients
+    per group), so a protocol whose throughput per group is load-bound shows
+    near-linear scale-out.  Compares a sequential trust-bft protocol
+    (MinBFT) against a parallel FlexiTrust one (Flexi-BFT), extending the
+    per-machine story of Figure 9 to multiple groups per deployment.
+    """
+    rows = []
+    for protocol in (protocols or ("minbft", "flexi-bft")):
+        for num_shards in shard_counts:
+            config = build_sharded_config(protocol, scale, num_shards=num_shards)
+            result = run_sharded_point(config)
+            rows.append(_row(protocol, result))  # 'shards' comes from as_row()
+    return rows
+
+
+# ---------------------------------------------------------------------------
 # Figure 9: throughput per machine
 # ---------------------------------------------------------------------------
 def figure9_throughput_per_machine(scale: ExperimentScale = SMALL_SCALE,
@@ -285,4 +341,5 @@ ALL_EXPERIMENTS = {
     "figure7": figure7_failure,
     "figure8": figure8_hardware_sweep,
     "figure9": figure9_throughput_per_machine,
+    "figure_sharding_scaleout": figure_sharding_scaleout,
 }

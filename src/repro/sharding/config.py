@@ -1,0 +1,64 @@
+"""Configuration of a sharded multi-group deployment.
+
+A :class:`ShardedConfig` wraps one base :class:`DeploymentConfig` — the
+protocol, fault threshold, hardware and workload shared by every group — and
+adds the scale-out knobs: how many groups run, how the keyspace is
+partitioned, and how many cross-shard clients drive them.  Each group is
+built from :meth:`shard_config`, which derives a per-shard variant of the
+base configuration with its own seed so the groups do not move in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..common.config import DeploymentConfig
+from ..common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShardedConfig:
+    """Everything needed to build and run *K* consensus groups as one system."""
+
+    base: DeploymentConfig
+    num_shards: int = 2
+    #: total cross-shard clients driving the whole deployment (they are not
+    #: per-shard: each client routes every request to the owning group).
+    #: Defaults to ``base.workload.num_clients`` so the two knobs cannot
+    #: silently diverge.
+    num_clients: Optional[int] = None
+    #: seed mixed into the key hash of the :class:`~repro.sharding.router.ShardRouter`.
+    router_seed: int = 0
+
+    @property
+    def effective_num_clients(self) -> int:
+        """Number of cross-shard clients the deployment will build."""
+        return (self.base.workload.num_clients if self.num_clients is None
+                else self.num_clients)
+
+    def validate(self) -> None:
+        """Check the scale-out knobs; per-group knobs are checked per group."""
+        if self.num_shards <= 0:
+            raise ConfigurationError("a sharded deployment needs at least one shard")
+        if self.effective_num_clients <= 0:
+            raise ConfigurationError("need at least one cross-shard client")
+
+    def shard_config(self, shard: int) -> DeploymentConfig:
+        """The deployment configuration of group ``shard``.
+
+        The per-shard experiment seed is offset by the shard index — each
+        group's rng registry is built from it, so jitter differs across
+        groups while the whole sharded run stays reproducible from the base
+        seed.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"shard {shard} out of range for {self.num_shards} shards")
+        experiment = replace(self.base.experiment,
+                             seed=self.base.experiment.seed * 1000 + shard)
+        return replace(self.base, experiment=experiment)
+
+    def with_shards(self, num_shards: int) -> "ShardedConfig":
+        """Copy with a different shard count (scale-out sweeps)."""
+        return replace(self, num_shards=num_shards)

@@ -1,6 +1,7 @@
 """Workload generation (YCSB) and closed-loop clients."""
 
 from .client import Client, ClientStats, CompletionSink
+from .sharded_client import ShardedClient, ShardedClientStats
 from .ycsb import YcsbWorkload, preload_operations
 from .zipf import ZipfianGenerator
 
@@ -8,6 +9,8 @@ __all__ = [
     "Client",
     "ClientStats",
     "CompletionSink",
+    "ShardedClient",
+    "ShardedClientStats",
     "YcsbWorkload",
     "ZipfianGenerator",
     "preload_operations",

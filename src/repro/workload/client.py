@@ -19,9 +19,10 @@ and 8.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Callable, Optional, Protocol
 
 from ..common.config import WorkloadConfig
+from ..common.errors import ConfigurationError, SimulationError
 from ..common.types import Micros, RequestId, ViewNum
 from ..crypto.keystore import KeyStore
 from ..net.network import Envelope, Network
@@ -71,11 +72,12 @@ class Client:
     """One closed-loop client driving the replicated service."""
 
     def __init__(self, name: str, sim: Simulator, network: Network,
-                 keystore: KeyStore, workload: YcsbWorkload,
+                 keystore: KeyStore, workload: Optional[YcsbWorkload],
                  workload_config: WorkloadConfig,
                  replica_names: list[str], f: int,
                  reply_policy: ReplyPolicy, sink: Optional[CompletionSink] = None,
-                 request_timeout_us: Micros = 250_000.0) -> None:
+                 request_timeout_us: Micros = 250_000.0,
+                 on_complete: Optional[Callable[[], None]] = None) -> None:
         self.name = name
         self.sim = sim
         self.network = network
@@ -88,6 +90,10 @@ class Client:
         self.reply_policy = reply_policy
         self.sink = sink
         self.request_timeout_us = request_timeout_us
+        #: when set, the client is a lane driven by an external coordinator
+        #: (e.g. a cross-shard client): completions are reported through the
+        #: callback instead of immediately issuing the next workload request.
+        self.on_complete = on_complete
         self.stats = ClientStats()
         self.view: ViewNum = 0
         self.active = True
@@ -101,6 +107,10 @@ class Client:
     # ------------------------------------------------------------ lifecycle
     def start(self, initial_delay_us: Micros = 0.0) -> None:
         """Begin the closed loop after ``initial_delay_us``."""
+        if self.workload is None:
+            raise ConfigurationError(
+                f"client {self.name!r} has no workload: it is driven by an "
+                "external coordinator via submit(), not start()")
         self.sim.schedule(initial_delay_us, self._issue_next)
 
     def stop(self) -> None:
@@ -112,10 +122,19 @@ class Client:
     def _issue_next(self) -> None:
         if not self.active:
             return
-        self._next_number += 1
-        request_id = RequestId(client=self.name, number=self._next_number)
         operations = tuple(self.workload.next_operations(
             self.workload_config.requests_per_client_message))
+        self.submit(operations)
+
+    def submit(self, operations: tuple) -> RequestId:
+        """Sign and send one request carrying ``operations`` to the primary."""
+        if self._pending is not None:
+            raise SimulationError(
+                f"client {self.name!r} already has request "
+                f"{self._pending.request.request_id} outstanding: the closed "
+                "loop submits one request at a time")
+        self._next_number += 1
+        request_id = RequestId(client=self.name, number=self._next_number)
         request = ClientRequest(request_id=request_id, operations=operations)
         request = ClientRequest(request_id=request_id, operations=operations,
                                 signature=self.key.sign(request.signed_part()))
@@ -126,6 +145,7 @@ class Client:
                                         len(operations))
         self.network.send(self.name, self._primary_name(), request)
         self._timer.restart(self.request_timeout_us)
+        return request_id
 
     def _primary_name(self) -> str:
         return self.replica_names[self.view % self.n]
@@ -167,7 +187,10 @@ class Client:
             self.sink.record_completion(
                 self.name, pending.request.request_id, pending.submitted_at,
                 self.sim.now, len(pending.request.operations))
-        self._issue_next()
+        if self.on_complete is not None:
+            self.on_complete()
+        else:
+            self._issue_next()
 
     # -------------------------------------------------------------- timeout
     def _on_timeout(self) -> None:

@@ -1,0 +1,139 @@
+"""Cross-shard closed-loop client.
+
+A :class:`ShardedClient` drives a sharded deployment the way a
+:class:`~repro.workload.client.Client` drives a single group: it keeps one
+*logical* request outstanding at a time.  Each logical request's operations
+are partitioned by the shard router; the client submits one sub-request per
+owning group (through a per-shard :class:`Client` lane that reuses all the
+quorum, slow-path and resend machinery) and completes — merging the per-shard
+responses — once every involved group has answered.
+
+Sub-requests are reported to per-shard metric sinks, the merged logical
+request to the global sink, so a sharded run exposes both per-shard and
+roll-up throughput/latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..common.config import WorkloadConfig
+from ..common.types import Micros, RequestId
+from ..crypto.keystore import KeyStore
+from ..sim.kernel import Simulator
+from .client import Client, CompletionSink
+from .ycsb import YcsbWorkload
+
+if TYPE_CHECKING:  # imported lazily to keep workload free of sharding imports
+    from ..runtime.deployment import Deployment
+    from ..sharding.router import ShardRouter
+
+
+@dataclass
+class ShardedClientStats:
+    """Per-client counters over logical (cross-shard) requests."""
+
+    submitted: int = 0
+    completed: int = 0
+    sub_requests: int = 0
+    #: logical requests whose operations spanned more than one shard.
+    multi_shard_requests: int = 0
+
+
+class ShardedClient:
+    """One closed-loop client whose requests span a sharded deployment."""
+
+    def __init__(self, name: str, sim: Simulator, keystore: KeyStore,
+                 workload: YcsbWorkload, workload_config: WorkloadConfig,
+                 router: "ShardRouter", groups: Sequence["Deployment"],
+                 global_sink: Optional[CompletionSink] = None,
+                 shard_sinks: Optional[Sequence[CompletionSink]] = None) -> None:
+        self.name = name
+        self.sim = sim
+        self.workload = workload
+        self.workload_config = workload_config
+        self.router = router
+        self.stats = ShardedClientStats()
+        self.active = True
+        self._global_sink = global_sink
+        self._logical_number = 0
+        self._outstanding: set[int] = set()
+        self._submitted_at: Micros = 0.0
+        self._op_count = 0
+
+        # One lane per shard: a regular client registered on that group's
+        # network, driven by this coordinator instead of its own workload.
+        self.lanes: list[Client] = []
+        for shard, group in enumerate(groups):
+            sink = shard_sinks[shard] if shard_sinks is not None else None
+            lane = Client(
+                name=name, sim=sim, network=group.network, keystore=keystore,
+                workload=None, workload_config=workload_config,
+                replica_names=group.replica_names, f=group.f,
+                reply_policy=group.spec.reply_policy, sink=sink,
+                request_timeout_us=group.protocol_config.request_timeout_us,
+                on_complete=lambda shard=shard: self._on_lane_complete(shard))
+            group.network.register(lane)
+            self.lanes.append(lane)
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self, initial_delay_us: Micros = 0.0) -> None:
+        """Begin the closed loop after ``initial_delay_us``."""
+        self.sim.schedule(initial_delay_us, self._issue_next)
+
+    def stop(self) -> None:
+        """Stop issuing logical requests (outstanding ones are abandoned)."""
+        self.active = False
+        for lane in self.lanes:
+            lane.stop()
+
+    # -------------------------------------------------------------- issuing
+    def _issue_next(self) -> None:
+        if not self.active:
+            return
+        operations = tuple(self.workload.next_operations(
+            self.workload_config.requests_per_client_message))
+        by_shard = self.router.partition(operations)
+        self._logical_number += 1
+        self._outstanding = set(by_shard)
+        self._submitted_at = self.sim.now
+        self._op_count = len(operations)
+        self.stats.submitted += 1
+        self.stats.sub_requests += len(by_shard)
+        if len(by_shard) > 1:
+            self.stats.multi_shard_requests += 1
+        if self._global_sink is not None:
+            self._global_sink.record_submission(
+                self.name, self._logical_request_id(), self.sim.now,
+                len(operations))
+        for shard in sorted(by_shard):
+            self.lanes[shard].submit(tuple(by_shard[shard]))
+
+    def _logical_request_id(self) -> RequestId:
+        return RequestId(client=self.name, number=self._logical_number)
+
+    # ------------------------------------------------------------- merging
+    def _on_lane_complete(self, shard: int) -> None:
+        if shard not in self._outstanding:
+            return
+        self._outstanding.discard(shard)
+        if self._outstanding:
+            return
+        # Every involved shard has answered: the logical request is complete.
+        self.stats.completed += 1
+        if self._global_sink is not None:
+            self._global_sink.record_completion(
+                self.name, self._logical_request_id(), self._submitted_at,
+                self.sim.now, self._op_count)
+        self._issue_next()
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def outstanding_shards(self) -> frozenset[int]:
+        """Shards still owing a sub-response for the current logical request."""
+        return frozenset(self._outstanding)
+
+    def resends(self) -> int:
+        """Total sub-request resends across every lane."""
+        return sum(lane.stats.resends for lane in self.lanes)

@@ -1,0 +1,133 @@
+"""Integration tests for sharded multi-group deployments."""
+
+import pytest
+
+from repro.common.config import (
+    DeploymentConfig,
+    ExperimentConfig,
+    ProtocolConfig,
+    WorkloadConfig,
+)
+from repro.common.types import ms
+from repro.sharding import ShardedConfig, ShardedDeployment
+
+
+def sharded_config(protocol="flexi-bft", num_shards=2, clients=24, batch=5,
+                   ops_per_request=1, records=200, seed=5) -> ShardedConfig:
+    base = DeploymentConfig(
+        protocol=protocol, f=1,
+        workload=WorkloadConfig(num_clients=clients, records=records,
+                                requests_per_client_message=ops_per_request),
+        protocol_config=ProtocolConfig(
+            batch_size=batch, worker_threads=4, checkpoint_interval=50,
+            request_timeout_us=ms(60.0), view_change_timeout_us=ms(60.0)),
+        experiment=ExperimentConfig(warmup_batches=1, measured_batches=8,
+                                    seed=seed),
+    )
+    return ShardedConfig(base=base, num_shards=num_shards, num_clients=clients)
+
+
+def executed_keys(group) -> set:
+    """Keys of every operation a group's initial primary has run through consensus."""
+    keys = set()
+    for inst in group.replicas[0].instances.values():
+        if inst.executed and inst.batch is not None:
+            for request in inst.batch.requests:
+                keys.update(op.key for op in request.operations)
+    return keys
+
+
+class TestShardedRuns:
+    @pytest.mark.parametrize("protocol", ["pbft", "minbft", "flexi-bft", "flexi-zz"])
+    def test_two_shards_complete_target_safely(self, protocol):
+        deployment = ShardedDeployment(sharded_config(protocol))
+        result = deployment.run_until_target(target_requests=80)
+        assert result.metrics.global_metrics.completed_requests >= 60
+        assert result.consensus_safe
+        assert result.rsm_safe
+
+    def test_every_shard_serves_traffic(self):
+        deployment = ShardedDeployment(sharded_config(num_shards=4, clients=40))
+        result = deployment.run_until_target(target_requests=160)
+        assert all(count > 0 for count in result.per_shard_completed.values())
+
+    def test_operations_only_execute_on_their_owning_shard(self):
+        deployment = ShardedDeployment(sharded_config(num_shards=4, clients=40))
+        deployment.run_until_target(target_requests=160)
+        for shard, group in enumerate(deployment.groups):
+            keys = executed_keys(group)
+            assert keys, f"shard {shard} executed nothing"
+            assert all(deployment.shard_of(key) == shard for key in keys)
+
+    def test_cross_shard_requests_merge_responses(self):
+        deployment = ShardedDeployment(
+            sharded_config(num_shards=4, clients=12, ops_per_request=4))
+        result = deployment.run_until_target(target_requests=60)
+        assert result.metrics.global_metrics.completed_requests >= 48
+        multi = sum(c.stats.multi_shard_requests for c in deployment.clients)
+        subs = sum(c.stats.sub_requests for c in deployment.clients)
+        completed = sum(c.stats.completed for c in deployment.clients)
+        assert multi > 0
+        assert subs > completed  # logical requests fan out into sub-requests
+        # Nothing remains half-merged once a client reports completion.
+        for client in deployment.clients:
+            if client.stats.completed == client.stats.submitted:
+                assert not client.outstanding_shards
+
+    def test_lane_clients_reject_start(self):
+        """Lanes have no workload of their own; only the coordinator drives them."""
+        from repro.common.errors import ConfigurationError
+
+        deployment = ShardedDeployment(sharded_config())
+        with pytest.raises(ConfigurationError):
+            deployment.clients[0].lanes[0].start()
+
+    def test_lane_double_submit_rejected(self):
+        """The closed loop keeps one sub-request outstanding per lane."""
+        from repro.common.errors import SimulationError
+        from repro.execution.state_machine import Operation
+
+        deployment = ShardedDeployment(sharded_config())
+        lane = deployment.clients[0].lanes[0]
+        operations = (Operation(action="read", key="user1"),)
+        lane.submit(operations)
+        with pytest.raises(SimulationError):
+            lane.submit(operations)
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            deployment = ShardedDeployment(sharded_config())
+            result = deployment.run_until_target(target_requests=80)
+            results.append((result.events, result.messages_sent,
+                            result.metrics.global_metrics.completed_requests,
+                            result.metrics.as_row()))
+        assert results[0] == results[1]
+
+    def test_groups_are_fault_isolated(self):
+        """A crashed non-primary replica in shard 0 leaves other shards untouched."""
+        deployment = ShardedDeployment(sharded_config(num_shards=2, clients=24))
+        deployment.groups[0].replicas[3].crash()
+        result = deployment.run_until_target(target_requests=80)
+        assert result.consensus_safe
+        assert result.metrics.global_metrics.completed_requests >= 60
+        assert result.per_shard_completed[1] > 0
+
+    def test_single_shard_matches_regular_deployment_shape(self):
+        deployment = ShardedDeployment(sharded_config(num_shards=1))
+        result = deployment.run_until_target(target_requests=40)
+        assert result.metrics.num_shards == 1
+        assert result.metrics.imbalance == pytest.approx(1.0)
+        assert result.metrics.aggregate_throughput_tx_s == pytest.approx(
+            result.metrics.shard_metrics[0].throughput_tx_s)
+
+    def test_aggregate_throughput_scales_with_shards(self):
+        """The acceptance shape: 1 -> 2 -> 4 shards grows aggregate throughput."""
+        aggregates = []
+        for shards in (1, 2, 4):
+            deployment = ShardedDeployment(
+                sharded_config(num_shards=shards, clients=24 * shards, batch=5))
+            result = deployment.run_until_target(target_requests=80 * shards)
+            aggregates.append(result.metrics.aggregate_throughput_tx_s)
+        assert aggregates == sorted(aggregates)
+        assert aggregates[-1] > 2.0 * aggregates[0]

@@ -1,0 +1,148 @@
+"""Regression tests: a view change releases the primary's in-flight window.
+
+``BaseReplica.enter_view`` must clear ``in_flight`` (protocols/base.py): the
+slots belong to consensus instances of the *old* view, which the new primary
+may re-propose under the same sequence numbers.  If a view change leaked
+those slots, a primary whose window was full when the view changed would
+never propose again once leadership returned to it — a total, silent stall.
+"""
+
+import pytest
+
+from repro.common.config import (
+    DeploymentConfig,
+    ExperimentConfig,
+    FaultConfig,
+    ProtocolConfig,
+    WorkloadConfig,
+)
+from repro.common.types import ms
+from repro.runtime import Deployment
+
+
+def vc_config(protocol="pbft", clients=8, max_outstanding=2) -> DeploymentConfig:
+    return DeploymentConfig(
+        protocol=protocol, f=1,
+        workload=WorkloadConfig(num_clients=clients, records=100),
+        protocol_config=ProtocolConfig(
+            batch_size=2, max_outstanding=max_outstanding, worker_threads=4,
+            checkpoint_interval=50, request_timeout_us=ms(40.0),
+            view_change_timeout_us=ms(40.0)),
+        experiment=ExperimentConfig(warmup_batches=1, measured_batches=8, seed=5),
+    )
+
+
+class TestEnterViewReleasesSlots:
+    def test_full_window_is_cleared_on_view_entry(self):
+        deployment = Deployment(vc_config())
+        primary = deployment.primary
+        primary.in_flight = {1, 2}
+        primary.enter_view(1)
+        assert primary.in_flight == set()
+        assert not primary.in_view_change
+
+    @pytest.mark.parametrize("protocol", ["pbft", "flexi-bft", "minbft"])
+    def test_cleared_for_every_protocol_family(self, protocol):
+        deployment = Deployment(vc_config(protocol))
+        for replica in deployment.replicas:
+            replica.in_flight = {7}
+            replica.enter_view(replica.view + 1)
+            assert replica.in_flight == set()
+
+
+class TestViewChangeWithRequestsInFlight:
+    @pytest.mark.parametrize("protocol", ["pbft", "flexi-bft"])
+    def test_progress_resumes_and_window_drains(self, protocol):
+        deployment = Deployment(vc_config(protocol))
+        primary = deployment.primary
+        deployment.start_clients()
+
+        # Run until the primary provably has consensus instances in flight.
+        deployment.sim.run(
+            until=2_000_000.0,
+            stop_when=lambda: (deployment.metrics.completed_count >= 10
+                               and len(primary.in_flight) > 0))
+        assert len(primary.in_flight) > 0
+        before_crash = deployment.metrics.completed_count
+
+        # Kill the primary mid-window: its proposals are now orphaned and the
+        # clients' timeouts must drive a view change.
+        primary.crash()
+        deployment.sim.run(
+            until=6_000_000.0,
+            stop_when=lambda: deployment.metrics.completed_count >= before_crash + 20)
+
+        survivors = [r for r in deployment.replicas if r.active]
+        assert any(r.stats.view_changes_completed > 0 for r in survivors)
+        assert all(r.view >= 1 for r in survivors)
+        # The system made progress after the view change.
+        assert deployment.metrics.completed_count >= before_crash + 20
+        assert deployment.safety.consensus_safe
+
+        # Quiesce: stop the clients and let outstanding consensus finish.
+        for client in deployment.clients:
+            client.stop()
+        deployment.sim.run(until=deployment.sim.now + 2_000_000.0)
+        # Every window slot ever taken was released — nothing leaked.
+        for replica in survivors:
+            assert replica.in_flight == set(), replica.name
+
+    @pytest.mark.parametrize("protocol", ["pbft", "flexi-bft"])
+    def test_reissued_requests_stay_guarded_after_view_install(self, protocol):
+        """The exactly-once window must survive the view install: enter_view's
+        stale-instance cleanup runs between reissue and execution, and must
+        not erase the guard on the re-proposed requests (else a client resend
+        in that window is batched — and executed — a second time)."""
+        from repro.common.types import RequestId
+        from repro.execution.state_machine import Operation
+        from repro.protocols.messages import (ClientRequest, RequestBatch,
+                                              ResendRequest, ViewChange)
+
+        deployment = Deployment(vc_config(protocol))
+        new_primary = deployment.replica(1)  # primary of view 1
+        key = deployment.keystore.register("client-0")
+        rid = RequestId(client="client-0", number=1)
+        request = ClientRequest(
+            request_id=rid,
+            operations=(Operation(action="write", key="user1", value="v1"),))
+        request = ClientRequest(request_id=rid, operations=request.operations,
+                                signature=key.sign(request.signed_part()))
+        batch = RequestBatch(requests=(request,))
+        # A view-0 batch that prepared but never committed at this replica.
+        inst = new_primary.instance(5, 0)
+        inst.batch, inst.batch_digest, inst.prepared = batch, batch.digest(), True
+
+        new_primary.initiate_view_change(1)
+        for voter in (2, 3):
+            vote = deployment.replica(voter).signed(ViewChange(
+                new_view=1, replica=voter, last_stable_seq=0, prepared=()))
+            new_primary.on_view_change(vote, deployment.replica_names[voter])
+        assert new_primary.is_primary and new_primary.view == 1
+
+        # The reissued request survived the stale-instance cleanup...
+        assert rid in new_primary.proposed_requests
+        assert not new_primary.ledger.executed(5)
+        # ...so a resend arriving before it executes is not batched again.
+        new_primary.dispatch(ResendRequest(request=request), source="client-0")
+        assert all(r.request_id != rid for r in new_primary.pending_requests)
+
+    def test_new_primary_reproposes_orphaned_batches(self):
+        """Batches prepared under the old view survive into the new one."""
+        deployment = Deployment(vc_config("pbft"))
+        primary = deployment.primary
+        deployment.start_clients()
+        deployment.sim.run(
+            until=2_000_000.0,
+            stop_when=lambda: (deployment.metrics.completed_count >= 10
+                               and len(primary.in_flight) > 0))
+        orphaned = set(primary.in_flight)
+        primary.crash()
+        deployment.sim.run(
+            until=6_000_000.0,
+            stop_when=lambda: deployment.metrics.completed_count >= 40)
+        new_primary = deployment.replica(1)
+        assert new_primary.is_primary
+        # The orphaned sequence numbers were decided (re-proposed or
+        # executed) rather than leaving gaps that block execution forever.
+        for seq in orphaned:
+            assert new_primary.ledger.last_executed >= seq

@@ -1,0 +1,78 @@
+"""Property-based tests (hypothesis) for the shard router.
+
+The router is the correctness keystone of sharded deployments: if a key ever
+mapped to two shards, two groups would execute conflicting writes; if routing
+depended on process state, clients and experiments would disagree about
+ownership.  These properties pin both down, plus the statistical one the
+scale-out experiment relies on: a zipfian workload leaves no shard idle.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.execution.state_machine import Operation
+from repro.sharding import ShardRouter
+from repro.workload import ZipfianGenerator
+
+keys = st.text(min_size=1, max_size=24)
+shard_counts = st.integers(min_value=1, max_value=16)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+class TestRoutingIsAFunction:
+    @given(keys, shard_counts, seeds)
+    @settings(max_examples=200, deadline=None)
+    def test_every_key_maps_to_exactly_one_shard(self, key, num_shards, seed):
+        router = ShardRouter(num_shards, seed=seed)
+        shards = {router.shard_of(key) for _ in range(5)}
+        assert len(shards) == 1
+        assert 0 <= shards.pop() < num_shards
+
+    @given(st.lists(keys, min_size=1, max_size=50), shard_counts, seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_independent_routers_agree(self, key_list, num_shards, seed):
+        """Routing is a pure function of (key, num_shards, seed) — two
+        routers built independently (as every client builds its own) agree on
+        the owner of every key."""
+        a = ShardRouter(num_shards, seed=seed)
+        b = ShardRouter(num_shards, seed=seed)
+        assert [a.shard_of(k) for k in key_list] == [b.shard_of(k) for k in key_list]
+
+    @given(st.lists(keys, min_size=1, max_size=50), shard_counts, seeds)
+    @settings(max_examples=100, deadline=None)
+    def test_partition_is_exhaustive_and_exclusive(self, key_list, num_shards, seed):
+        router = ShardRouter(num_shards, seed=seed)
+        operations = [Operation(action="read", key=k) for k in key_list]
+        by_shard = router.partition(operations)
+        # Exhaustive: every operation lands somewhere...
+        assert sum(len(ops) for ops in by_shard.values()) == len(operations)
+        # ...and exclusive: only on the shard that owns its key.
+        for shard, ops in by_shard.items():
+            assert all(router.shard_of(op.key) == shard for op in ops)
+
+
+class TestZipfCoverage:
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=1000),
+           st.floats(min_value=0.0, max_value=0.99))
+    @settings(max_examples=25, deadline=None)
+    def test_all_shards_nonempty_under_zipf(self, num_shards, seed, theta):
+        """>= 1k zipf-drawn keys touch every shard, whatever the skew —
+        the scale-out experiment never runs an idle group."""
+        rng = random.Random(seed)
+        zipf = ZipfianGenerator(2000, theta, rng)
+        router = ShardRouter(num_shards, seed=seed)
+        counts = router.distribution(f"user{zipf.next()}" for _ in range(1000))
+        assert all(counts[shard] > 0 for shard in range(num_shards))
+
+    @given(st.integers(min_value=2, max_value=8),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_routing_balances_the_raw_keyspace(self, num_shards, seed):
+        """Hash partitioning spreads the (unskewed) keyspace roughly evenly."""
+        router = ShardRouter(num_shards, seed=seed)
+        counts = router.distribution(f"user{i}" for i in range(2000))
+        expected = 2000 / num_shards
+        assert all(0.5 * expected <= counts[s] <= 1.5 * expected
+                   for s in range(num_shards))

@@ -1,0 +1,130 @@
+"""Unit tests for the sharding subsystem: router, config and metrics."""
+
+import pytest
+
+from repro.common.config import DeploymentConfig, WorkloadConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import RequestId
+from repro.execution.state_machine import Operation
+from repro.sharding import ShardRouter, ShardedConfig, ShardedMetrics
+
+
+class TestShardRouter:
+    def test_every_key_in_range(self):
+        router = ShardRouter(4)
+        for i in range(500):
+            assert 0 <= router.shard_of(f"user{i}") < 4
+
+    def test_routing_is_stable_across_instances(self):
+        a, b = ShardRouter(8, seed=3), ShardRouter(8, seed=3)
+        keys = [f"user{i}" for i in range(300)]
+        assert [a.shard_of(k) for k in keys] == [b.shard_of(k) for k in keys]
+
+    def test_seed_varies_the_partition(self):
+        keys = [f"user{i}" for i in range(300)]
+        a = [ShardRouter(4, seed=0).shard_of(k) for k in keys]
+        b = [ShardRouter(4, seed=1).shard_of(k) for k in keys]
+        assert a != b
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(1)
+        assert all(router.shard_of(f"user{i}") == 0 for i in range(100))
+
+    def test_partition_preserves_operations_and_order(self):
+        router = ShardRouter(3)
+        operations = [Operation(action="read", key=f"user{i}") for i in range(60)]
+        by_shard = router.partition(operations)
+        assert sum(len(ops) for ops in by_shard.values()) == len(operations)
+        for shard, ops in by_shard.items():
+            assert all(router.shard_of(op.key) == shard for op in ops)
+            # Per-shard order matches the original stream order.
+            expected = [op for op in operations if router.shard_of(op.key) == shard]
+            assert ops == expected
+
+    def test_shard_of_operation_matches_shard_of_key(self):
+        router = ShardRouter(5)
+        op = Operation(action="write", key="user42", value="v")
+        assert router.shard_of_operation(op) == router.shard_of("user42")
+
+    def test_distribution_counts_all_keys(self):
+        router = ShardRouter(4)
+        counts = router.distribution(f"user{i}" for i in range(400))
+        assert sorted(counts) == [0, 1, 2, 3]
+        assert sum(counts.values()) == 400
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardRouter(0)
+
+
+class TestShardedConfig:
+    def test_defaults_validate(self):
+        ShardedConfig(base=DeploymentConfig()).validate()
+
+    def test_bad_scaleout_knobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardedConfig(base=DeploymentConfig(), num_shards=0).validate()
+        with pytest.raises(ConfigurationError):
+            ShardedConfig(base=DeploymentConfig(), num_clients=0).validate()
+
+    def test_num_clients_defaults_to_base_workload(self):
+        base = DeploymentConfig(workload=WorkloadConfig(num_clients=200))
+        assert ShardedConfig(base=base).effective_num_clients == 200
+        assert ShardedConfig(base=base, num_clients=32).effective_num_clients == 32
+
+    def test_shard_configs_get_distinct_seeds(self):
+        config = ShardedConfig(base=DeploymentConfig(), num_shards=3)
+        seeds = {config.shard_config(s).experiment.seed for s in range(3)}
+        assert len(seeds) == 3
+
+    def test_shard_config_out_of_range_rejected(self):
+        config = ShardedConfig(base=DeploymentConfig(), num_shards=2)
+        with pytest.raises(ConfigurationError):
+            config.shard_config(2)
+
+    def test_with_shards_is_functional(self):
+        config = ShardedConfig(base=DeploymentConfig(), num_shards=2)
+        assert config.with_shards(4).num_shards == 4
+        assert config.num_shards == 2
+
+
+class TestShardedMetrics:
+    def record(self, collector, number, start, end, operations=1):
+        request_id = RequestId(client="c", number=number)
+        collector.record_submission("c", request_id, start, operations)
+        collector.record_completion("c", request_id, start, end, operations)
+
+    def test_per_shard_and_global_counts(self):
+        metrics = ShardedMetrics(num_shards=2)
+        self.record(metrics.shard_collectors[0], 1, 0.0, 100.0)
+        self.record(metrics.shard_collectors[1], 1, 0.0, 120.0)
+        self.record(metrics.global_collector, 1, 0.0, 120.0, operations=2)
+        assert metrics.completed_count == 1
+        assert metrics.shard_completed_count(0) == 1
+        assert metrics.shard_completed_count(1) == 1
+
+    def test_summary_reports_imbalance(self):
+        metrics = ShardedMetrics(num_shards=2)
+        for i in range(1, 4):  # shard 0 serves three ops, shard 1 serves one
+            self.record(metrics.shard_collectors[0], i, 0.0, 1000.0 * i)
+        self.record(metrics.shard_collectors[1], 1, 0.0, 1000.0)
+        summary = metrics.summarise(warmup_fraction=0.0)
+        assert summary.num_shards == 2
+        assert summary.imbalance == pytest.approx(3 / 2)
+        assert summary.aggregate_throughput_tx_s == pytest.approx(
+            sum(m.throughput_tx_s for m in summary.shard_metrics))
+
+    def test_as_row_exposes_per_shard_columns(self):
+        metrics = ShardedMetrics(num_shards=2)
+        self.record(metrics.shard_collectors[0], 1, 0.0, 100.0)
+        self.record(metrics.shard_collectors[1], 1, 0.0, 100.0)
+        self.record(metrics.global_collector, 1, 0.0, 100.0)
+        row = metrics.summarise(warmup_fraction=0.0).as_row()
+        assert row["shards"] == 2
+        assert "shard0_tx_s" in row and "shard1_tx_s" in row
+        assert "aggregate_throughput_tx_s" in row and "imbalance" in row
+
+    def test_empty_run_summarises_to_zero(self):
+        summary = ShardedMetrics(num_shards=3).summarise()
+        assert summary.imbalance == 0.0
+        assert summary.aggregate_throughput_tx_s == 0.0

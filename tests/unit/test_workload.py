@@ -74,6 +74,50 @@ class TestYcsbWorkload:
         assert workload.generated == 10
 
 
+class TestDeterminism:
+    """Same seed => identical streams; different seeds => different streams.
+
+    Sharded experiments compare protocols across runs, so workload streams
+    must be pure functions of (config, seed) — any hidden global state would
+    silently skew a comparison.
+    """
+
+    def zipf_stream(self, seed, count=200):
+        return ZipfianGenerator(500, 0.9, random.Random(seed)).sample(count)
+
+    def ycsb_stream(self, seed, count=200):
+        config = WorkloadConfig(num_clients=1, records=500, write_fraction=0.5)
+        workload = YcsbWorkload(config, random.Random(seed))
+        return [(op.action, op.key, op.value)
+                for op in workload.next_operations(count)]
+
+    def test_zipf_same_seed_identical(self):
+        assert self.zipf_stream(11) == self.zipf_stream(11)
+
+    def test_zipf_different_seeds_differ(self):
+        assert self.zipf_stream(11) != self.zipf_stream(12)
+
+    def test_ycsb_same_seed_identical(self):
+        """Actions, keys and write payloads all replay identically."""
+        assert self.ycsb_stream(3) == self.ycsb_stream(3)
+
+    def test_ycsb_different_seeds_differ(self):
+        assert self.ycsb_stream(3) != self.ycsb_stream(4)
+
+    def test_ycsb_streams_are_independent_of_interleaving(self):
+        """Two workloads drawn alternately equal two drawn back-to-back."""
+        a1, b1 = (YcsbWorkload(WorkloadConfig(records=500), random.Random(s))
+                  for s in (5, 6))
+        interleaved_a, interleaved_b = [], []
+        for _ in range(100):
+            interleaved_a.append(a1.next_operation())
+            interleaved_b.append(b1.next_operation())
+        a2 = YcsbWorkload(WorkloadConfig(records=500), random.Random(5))
+        b2 = YcsbWorkload(WorkloadConfig(records=500), random.Random(6))
+        assert interleaved_a == a2.next_operations(100)
+        assert interleaved_b == b2.next_operations(100)
+
+
 class TestConfigValidation:
     def test_default_config_validates(self):
         config = DeploymentConfig(protocol="pbft", f=1)
@@ -86,6 +130,12 @@ class TestConfigValidation:
 
     def test_zero_clients_rejected(self):
         config = DeploymentConfig(workload=WorkloadConfig(num_clients=0))
+        with pytest.raises(ConfigurationError):
+            config.validate(n=4)
+
+    def test_zero_requests_per_message_rejected(self):
+        config = DeploymentConfig(
+            workload=WorkloadConfig(requests_per_client_message=0))
         with pytest.raises(ConfigurationError):
             config.validate(n=4)
 

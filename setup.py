@@ -47,7 +47,13 @@ setup(
         "test": [
             "pytest>=7",
             "pytest-benchmark>=4",
+            "pytest-timeout>=2",
             "hypothesis>=6",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.__main__:main",
         ],
     },
     classifiers=[

@@ -8,6 +8,8 @@ The package is organised bottom-up:
 * :mod:`repro.protocols` — the ten consensus protocols of the evaluation.
 * :mod:`repro.core` — the paper's contribution: the FlexiTrust transformation,
   the Figure 1 analysis, and the Section 5–7 attack scenarios.
+* :mod:`repro.recovery` — crash recovery: durable replica stores, timed fault
+  schedules, and peer state transfer for restart/rejoin scenarios.
 * :mod:`repro.runtime` — deployments, metrics, and the per-figure experiments.
 * :mod:`repro.sharding` — scale-out: many consensus groups over a partitioned
   keyspace, driven by cross-shard clients.
@@ -29,6 +31,8 @@ from .common import (
     HARDWARE_PRESETS,
     NetworkConfig,
     ProtocolConfig,
+    ROLLBACK_PROTECTED_COUNTER,
+    RecoveryConfig,
     SGX_ENCLAVE_COUNTER,
     SGX_PERSISTENT_COUNTER,
     TPM_COUNTER,
@@ -37,14 +41,24 @@ from .common import (
 )
 from .core import (
     compare_responsiveness,
+    compare_restart_rollback_hardware,
     compare_rollback_hardware,
     figure1_table,
     run_responsiveness_attack,
+    run_restart_rollback_attack,
     run_rollback_attack,
     run_sequentiality_demo,
     transform,
 )
 from .protocols import PROTOCOLS, get_protocol, protocol_names
+from .recovery import (
+    DurableStore,
+    FaultSchedule,
+    crash_at,
+    heal_at,
+    partition_at,
+    restart_at,
+)
 from .runtime import (
     Deployment,
     ExperimentScale,
@@ -61,20 +75,24 @@ from .sharding import (
     build_sharded_deployment,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CryptoCostModel",
     "Deployment",
     "DeploymentConfig",
+    "DurableStore",
     "ExperimentConfig",
     "ExperimentScale",
     "FaultConfig",
+    "FaultSchedule",
     "HARDWARE_PRESETS",
     "NetworkConfig",
     "PAPER_SCALE",
     "PROTOCOLS",
     "ProtocolConfig",
+    "ROLLBACK_PROTECTED_COUNTER",
+    "RecoveryConfig",
     "RunResult",
     "SGX_ENCLAVE_COUNTER",
     "SGX_PERSISTENT_COUNTER",
@@ -90,11 +108,17 @@ __all__ = [
     "build_deployment",
     "build_sharded_deployment",
     "compare_responsiveness",
+    "compare_restart_rollback_hardware",
     "compare_rollback_hardware",
+    "crash_at",
     "figure1_table",
     "get_protocol",
+    "heal_at",
+    "partition_at",
     "protocol_names",
+    "restart_at",
     "run_responsiveness_attack",
+    "run_restart_rollback_attack",
     "run_rollback_attack",
     "run_sequentiality_demo",
     "transform",

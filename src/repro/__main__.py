@@ -1,0 +1,77 @@
+"""Command-line entry point: ``python -m repro`` (or the ``repro`` script).
+
+Runs any figure experiment from :data:`repro.runtime.ALL_EXPERIMENTS` and
+prints its row table::
+
+    python -m repro list
+    python -m repro run figure6_throughput
+    python -m repro run figure_recovery --scale paper
+    python -m repro run figure6_batching --protocols pbft flexi-bft
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import Optional
+
+from .runtime import ALL_EXPERIMENTS, PAPER_SCALE, SMALL_SCALE, print_rows
+
+SCALES = {"small": SMALL_SCALE, "paper": PAPER_SCALE}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dissecting BFT Consensus' (EuroSys 2023): "
+                    "run figure experiments from the command line.")
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run = subparsers.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("figure", choices=sorted(ALL_EXPERIMENTS),
+                     help="experiment to run (see 'repro list')")
+    run.add_argument("--scale", choices=sorted(SCALES), default="small",
+                     help="experiment scale: laptop-sized 'small' (default) or "
+                          "the paper-sized 'paper'")
+    run.add_argument("--protocols", nargs="+", metavar="PROTOCOL",
+                     help="restrict the experiment to these protocols "
+                          "(experiments that fix their protocol ignore this)")
+    return parser
+
+
+def run_experiment(figure: str, scale_name: str,
+                   protocols: Optional[list[str]]) -> list[dict]:
+    """Dispatch one experiment, forwarding ``protocols`` when it accepts it."""
+    experiment = ALL_EXPERIMENTS[figure]
+    kwargs = {}
+    if protocols:
+        parameters = inspect.signature(experiment).parameters
+        if "protocols" not in parameters:
+            raise SystemExit(
+                f"{figure} does not take a protocol selection")
+        kwargs["protocols"] = tuple(protocols)
+    return experiment(SCALES[scale_name], **kwargs)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in ALL_EXPERIMENTS)
+        for name in sorted(ALL_EXPERIMENTS):
+            doc = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name.ljust(width)}  {doc}")
+        return 0
+    if args.command == "run":
+        rows = run_experiment(args.figure, args.scale, args.protocols)
+        print_rows(f"{args.figure} ({args.scale} scale)", rows)
+        return 0
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,11 +86,16 @@ TPM_COUNTER = TrustedHardwareSpec(
     name="tpm", access_latency_us=ms(100.0), persistent=True)
 ADAM_CS_COUNTER = TrustedHardwareSpec(
     name="adam-cs", access_latency_us=ms(8.0), persistent=True)
+#: A rollback-protected counter at enclave speed: same access latency as
+#: SGX_ENCLAVE_COUNTER but persistent.  Recovery experiments use this pair to
+#: isolate the effect of *persistence* from the effect of access latency.
+ROLLBACK_PROTECTED_COUNTER = TrustedHardwareSpec(
+    name="rollback-protected-counter", access_latency_us=25.0, persistent=True)
 
 HARDWARE_PRESETS = {
     spec.name: spec
     for spec in (SGX_ENCLAVE_COUNTER, SGX_PERSISTENT_COUNTER, TPM_COUNTER,
-                 ADAM_CS_COUNTER)
+                 ADAM_CS_COUNTER, ROLLBACK_PROTECTED_COUNTER)
 }
 
 
@@ -178,12 +183,19 @@ class FaultConfig:
     ``crashed`` replicas silently stop.  ``byzantine`` replicas are handed to
     the adversary strategy configured by the experiment (e.g. the
     responsiveness attack of Section 5 or the rollback attack of Section 6).
+    Timed crash/restart/partition scenarios are expressed separately with a
+    :class:`~repro.recovery.schedule.FaultSchedule` handed to the deployment.
     """
 
     crashed: tuple[int, ...] = ()
     byzantine: tuple[int, ...] = ()
 
     def validate(self, n: int, f: int) -> None:
+        overlap = set(self.crashed) & set(self.byzantine)
+        if overlap:
+            raise ConfigurationError(
+                f"replicas {sorted(overlap)} are listed as both crashed and "
+                f"byzantine; a replica has exactly one fault kind")
         faulty = set(self.crashed) | set(self.byzantine)
         if len(faulty) > f:
             raise ConfigurationError(
@@ -192,6 +204,42 @@ class FaultConfig:
         for rid in faulty:
             if not 0 <= rid < n:
                 raise ConfigurationError(f"faulty replica {rid} out of range")
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Durability and state-transfer tunables for crash recovery.
+
+    ``fsync_latency_us`` is the time one write-ahead-log append (or checkpoint
+    write) occupies the replica's serial disk; messages produced by the
+    writing handler do not leave the replica before the write is durable.
+    The defaults model an instantaneous disk so failure-free runs are
+    timing-identical to a deployment without durable stores; recovery
+    experiments raise the latency to price durability in.
+    """
+
+    #: keep a durable store (WAL + checkpoint snapshots) per replica seat.
+    durable_store: bool = True
+    fsync_latency_us: Micros = 0.0
+    #: per-record read cost when replaying the local store at restart.
+    replay_latency_us: Micros = 0.0
+    #: a replica lagging more than this many checkpoint intervals behind the
+    #: consensus messages it receives requests a state transfer (0 disables).
+    lag_threshold_intervals: int = 4
+    #: transfer rounds before a recovering replica rejoins best-effort.
+    max_transfer_rounds: int = 8
+    #: decided batches per LogFill message (larger transfers take rounds).
+    log_fill_limit: int = 200
+
+    def validate(self) -> None:
+        if self.fsync_latency_us < 0 or self.replay_latency_us < 0:
+            raise ConfigurationError("storage latencies cannot be negative")
+        if self.lag_threshold_intervals < 0:
+            raise ConfigurationError("lag threshold cannot be negative")
+        if self.max_transfer_rounds <= 0:
+            raise ConfigurationError("need at least one transfer round")
+        if self.log_fill_limit <= 0:
+            raise ConfigurationError("LogFill messages must carry at least one batch")
 
 
 @dataclass(frozen=True)
@@ -223,6 +271,7 @@ class DeploymentConfig:
     protocol_config: ProtocolConfig = field(default_factory=ProtocolConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
 
     def validate(self, n: int) -> None:
         """Check the configuration against the deployment size ``n``."""
@@ -235,6 +284,7 @@ class DeploymentConfig:
         self.protocol_config.validate()
         self.experiment.validate()
         self.faults.validate(n, max(self.f, 0))
+        self.recovery.validate()
 
     def with_updates(self, **kwargs) -> "DeploymentConfig":
         """Functional update helper used heavily by parameter sweeps."""

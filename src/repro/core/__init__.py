@@ -6,8 +6,10 @@ from .attacks import (
     RollbackReport,
     SequentialityReport,
     compare_responsiveness,
+    compare_restart_rollback_hardware,
     compare_rollback_hardware,
     run_responsiveness_attack,
+    run_restart_rollback_attack,
     run_rollback_attack,
     run_sequentiality_demo,
     sequential_throughput_bound,
@@ -34,12 +36,14 @@ __all__ = [
     "TrustedUsage",
     "comparison_row",
     "compare_responsiveness",
+    "compare_restart_rollback_hardware",
     "compare_rollback_hardware",
     "expected_speedup",
     "figure1_table",
     "format_table",
     "instrumented_pbft_factory",
     "run_responsiveness_attack",
+    "run_restart_rollback_attack",
     "run_rollback_attack",
     "run_sequentiality_demo",
     "sequential_throughput_bound",

@@ -12,6 +12,11 @@ Three executable demonstrations, each returning a structured report:
   volatile trusted counter and equivocates, making two honest replicas execute
   different transactions at the same sequence number.  With persistent
   hardware the rollback is impossible and safety holds.
+* :func:`run_restart_rollback_attack` — the restart-based variant of the same
+  attack: instead of snapshotting the component, the byzantine host simply
+  power-cycles its replica.  A volatile counter comes back at zero (the
+  restart *is* the rollback), a persistent one resumes and the equivocation
+  lands on an unused sequence number.
 * :func:`run_sequentiality_demo` — Section 7.  A trusted counter refuses
   out-of-order bindings, which is why trust-bft consensus cannot run two
   instances concurrently; the accompanying throughput bound
@@ -27,6 +32,7 @@ from ..common.config import (
     ExperimentConfig,
     FaultConfig,
     ProtocolConfig,
+    ROLLBACK_PROTECTED_COUNTER,
     SGX_ENCLAVE_COUNTER,
     SGX_PERSISTENT_COUNTER,
     TrustedHardwareSpec,
@@ -168,7 +174,7 @@ def compare_responsiveness(f: int = 2, duration_s: float = 4.0) -> dict[str, Res
 # --------------------------------------------------------------------------
 @dataclass
 class RollbackReport:
-    """Outcome of the Section 6 rollback scenario."""
+    """Outcome of the Section 6 rollback scenario (either variant)."""
 
     protocol: str
     hardware: str
@@ -178,6 +184,10 @@ class RollbackReport:
     responses_for_first: int
     responses_for_second: int
     violations: list[str] = field(default_factory=list)
+    #: how the adversary rewound the component: ``host-snapshot`` (the
+    #: original Section 6 mechanism) or ``restart`` (power-cycling the
+    #: replica so a volatile counter resets).
+    attack: str = "host-snapshot"
 
 
 def _client_request(name: str, number: int, key: str, value: str) -> ClientRequest:
@@ -268,6 +278,94 @@ def compare_rollback_hardware(protocol: str = "minbft") -> dict[str, RollbackRep
     return {
         "volatile": run_rollback_attack(SGX_ENCLAVE_COUNTER, protocol),
         "persistent": run_rollback_attack(SGX_PERSISTENT_COUNTER, protocol),
+    }
+
+
+def run_restart_rollback_attack(hardware: TrustedHardwareSpec = SGX_ENCLAVE_COUNTER,
+                                protocol: str = "minbft") -> RollbackReport:
+    """Restart-based rollback: the byzantine host power-cycles its replica.
+
+    Phase 1 is the same as :func:`run_rollback_attack`: the byzantine primary
+    commits ``T`` at sequence 1 with honest replica G only.  Phase 2 replaces
+    the explicit counter snapshot with a crash/restart of the whole replica —
+    the host wipes its own disk and rebuilds the process.  What the trusted
+    component remembers across that restart is exactly the Section 6
+    dichotomy: a volatile counter restarts at zero, so the primary can bind a
+    conflicting ``T'`` to sequence 1 and serve it to honest replica D
+    (consensus-safety violation, flagged by the safety monitor); a persistent
+    counter resumes, ``T'`` lands on the *next* sequence number, and D never
+    executes it out of order.
+    """
+    f = 1
+    config = DeploymentConfig(
+        protocol=protocol, f=f, trusted_hardware=hardware,
+        workload=WorkloadConfig(num_clients=1, records=16),
+        protocol_config=ProtocolConfig(batch_size=1, checkpoint_interval=10_000),
+        faults=FaultConfig(byzantine=(0,)),
+        experiment=ExperimentConfig(seed=7),
+    )
+    deployment = Deployment(config)
+    primary = deployment.primary
+    replica_g = deployment.replica(1)
+    replica_d = deployment.replica(2)
+    client_name = deployment.client_names[0]
+
+    # Phase 1: the primary only talks to G (and itself); D hears nothing.
+    def phase1_filter(destination: str, message: object) -> bool:
+        return destination not in {replica_d.name}
+
+    primary.make_byzantine(phase1_filter)
+    request_t = _client_request(client_name, 1, "account", "transfer-to-alice")
+    primary.propose_batch(RequestBatch(requests=(request_t,)))
+    deployment.sim.run(until=ms(200))
+
+    responses_first = sum(
+        1 for replica in (primary, replica_g)
+        if replica.reply_cache.get(request_t.request_id) is not None)
+
+    # Phase 2: power-cycle the primary.  No recovery protocol runs — this
+    # host wants amnesia, not a rejoin — and the disk is discarded too.
+    primary = deployment.restart_replica(0, recover=False, wipe_store=True)
+    counter_reset = (not primary.trusted.counters.snapshot()
+                     and not primary.trusted.flexi.snapshot())
+
+    def phase2_filter(destination: str, message: object) -> bool:
+        return destination not in {replica_g.name}
+
+    primary.make_byzantine(phase2_filter)
+    request_t2 = _client_request(client_name, 2, "account", "transfer-to-bob")
+    primary.propose_batch(RequestBatch(requests=(request_t2,)))
+    deployment.sim.run(until=ms(400))
+    # As in the snapshot variant, the byzantine primary forges its own
+    # matching reply towards the client.
+    responses_second = (
+        (1 if replica_d.reply_cache.get(request_t2.request_id) is not None else 0)
+        + 1)
+
+    digests = deployment.safety.distinct_digests_at(1)
+    violations = [v.description for v in deployment.safety.violations]
+    return RollbackReport(
+        protocol=protocol, hardware=hardware.name,
+        rollback_succeeded=counter_reset,
+        safety_violated=not deployment.safety.consensus_safe,
+        conflicting_digests_at_seq1=len(digests),
+        responses_for_first=responses_first,
+        responses_for_second=responses_second,
+        violations=violations,
+        attack="restart",
+    )
+
+
+def compare_restart_rollback_hardware(protocol: str = "minbft") -> dict[str, RollbackReport]:
+    """Run the restart-rollback variant on volatile and persistent hardware.
+
+    Uses :data:`~repro.common.config.ROLLBACK_PROTECTED_COUNTER` as the
+    persistent level so both runs share the same access latency and only the
+    persistence bit differs.
+    """
+    return {
+        "volatile": run_restart_rollback_attack(SGX_ENCLAVE_COUNTER, protocol),
+        "persistent": run_restart_rollback_attack(ROLLBACK_PROTECTED_COUNTER, protocol),
     }
 
 

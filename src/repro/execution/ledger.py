@@ -36,6 +36,7 @@ class Ledger:
     last_executed: SeqNum = 0
     stable_checkpoint: SeqNum = 0
     state_snapshots: dict[SeqNum, object] = field(default_factory=dict)
+    checkpoint_digests: dict[SeqNum, bytes] = field(default_factory=dict)
 
     def record(self, batch: ExecutedBatch) -> None:
         """Record an executed batch; sequence numbers must be contiguous."""
@@ -69,6 +70,8 @@ class Ledger:
             del self.entries[s]
         for s in [s for s in self.state_snapshots if s < seq]:
             del self.state_snapshots[s]
+        for s in [s for s in self.checkpoint_digests if s < seq]:
+            del self.checkpoint_digests[s]
         return len(to_drop)
 
     def rollback_to(self, seq: SeqNum) -> list[ExecutedBatch]:
@@ -89,6 +92,18 @@ class Ledger:
     def snapshot_at(self, seq: SeqNum) -> Optional[object]:
         """The stored snapshot for ``seq`` if any."""
         return self.state_snapshots.get(seq)
+
+    def record_checkpoint_digest(self, seq: SeqNum, digest: bytes) -> None:
+        """Remember the state digest taken at checkpoint ``seq``.
+
+        Replicas serve it in ``CheckpointReply`` so a rejoiner can match
+        snapshots against an ``f + 1`` digest quorum.
+        """
+        self.checkpoint_digests[seq] = digest
+
+    def checkpoint_digest(self, seq: SeqNum) -> Optional[bytes]:
+        """The state digest recorded at checkpoint ``seq``, if retained."""
+        return self.checkpoint_digests.get(seq)
 
     def __len__(self) -> int:
         return len(self.entries)

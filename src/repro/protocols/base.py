@@ -30,7 +30,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional
 
-from ..common.config import CryptoCostModel, ProtocolConfig, TrustedHardwareSpec
+from ..common.config import (
+    CryptoCostModel,
+    ProtocolConfig,
+    RecoveryConfig,
+    TrustedHardwareSpec,
+)
 from ..common.errors import ProtocolError
 from ..common.types import FaultKind, Micros, ReplicaId, RequestId, SeqNum, ViewNum
 from ..crypto.keystore import KeyStore
@@ -39,6 +44,8 @@ from ..execution.ledger import ExecutedBatch, Ledger
 from ..execution.safety import SafetyMonitor
 from ..execution.state_machine import OperationResult, StateMachine
 from ..net.network import Envelope, Network
+from ..recovery.store import DurableStore
+from ..recovery.transfer import StateTransferSession
 from ..sim.kernel import Simulator, Timer
 from ..sim.resources import SerialDevice, WorkerPool
 from ..trusted.attestation import verify_attestation
@@ -46,10 +53,14 @@ from ..trusted.component import TrustedComponentHost
 from ..crypto.digest import digest
 from .messages import (
     Checkpoint,
+    CheckpointReply,
+    CheckpointRequest,
     ClientRequest,
     Commit,
     CommitAck,
     CommitCertificate,
+    LogFill,
+    LogFillEntry,
     NewView,
     PrePrepare,
     Prepare,
@@ -60,6 +71,11 @@ from .messages import (
     ViewChange,
     noop_batch,
 )
+
+#: messages a recovering replica must not emit: it re-executes history during
+#: state transfer and may not influence live consensus until it has rejoined.
+_CONSENSUS_OUTBOUND = (PrePrepare, Prepare, Commit, Checkpoint, ViewChange,
+                       NewView, CommitAck)
 
 
 @dataclass
@@ -83,6 +99,9 @@ class ReplicaContext:
     #: typical one-way replica-to-replica latency; sequential speculative
     #: protocols use it to model the completion of a consensus invocation.
     one_way_latency_us: Micros = 120.0
+    #: durable storage of this replica seat; survives crash/restart cycles.
+    store: Optional[DurableStore] = None
+    recovery_config: RecoveryConfig = field(default_factory=RecoveryConfig)
 
 
 @dataclass
@@ -122,6 +141,10 @@ class ReplicaStats:
     view_changes_started: int = 0
     view_changes_completed: int = 0
     checkpoints_taken: int = 0
+    recoveries_started: int = 0
+    recoveries_completed: int = 0
+    log_fill_batches_sent: int = 0
+    log_fill_batches_applied: int = 0
 
 
 class BaseReplica:
@@ -178,8 +201,10 @@ class BaseReplica:
         self.active = True
         self.outbound_filter: Optional[Callable[[str, object], bool]] = None
 
-        # Checkpoints.
-        self.checkpoint_votes: dict[SeqNum, dict[ReplicaId, bytes]] = {}
+        # Checkpoints.  Votes keep the full signed messages so a stable
+        # checkpoint can be served to rejoining replicas with its f+1-vote
+        # certificate attached.
+        self.checkpoint_votes: dict[SeqNum, dict[ReplicaId, Checkpoint]] = {}
 
         # View changes.
         self.in_view_change = False
@@ -190,6 +215,14 @@ class BaseReplica:
         self.batch_timer = Timer(self.sim, self._on_batch_timeout)
         self.progress_timer = Timer(self.sim, self._on_progress_timeout)
         self.forwarded_requests: set[RequestId] = set()
+
+        # Crash recovery.
+        self.store = ctx.store
+        self.recovering = False
+        self.recovered_at: Optional[Micros] = None
+        self._transfer: Optional[StateTransferSession] = None
+        self.recovery_timer = Timer(self.sim, self._on_recovery_timeout)
+        self._lag_recovery_after: Micros = 0.0
 
         self._handler: Optional[HandlerOutput] = None
 
@@ -216,6 +249,11 @@ class BaseReplica:
         """Stop processing and sending messages (crash fault)."""
         self.fault_kind = FaultKind.CRASHED
         self.active = False
+        # A dead replica's timers must not fire: the seat may be rebuilt and
+        # the stale object must stay inert.
+        self.batch_timer.cancel()
+        self.progress_timer.cancel()
+        self.recovery_timer.cancel()
 
     def make_byzantine(self, outbound_filter: Optional[Callable[[str, object], bool]] = None) -> None:
         """Mark the replica byzantine and optionally restrict what it sends.
@@ -247,16 +285,25 @@ class BaseReplica:
         finally:
             self._handler = None
         tc_ops = self.trusted.take_pending_accesses() if self.trusted else 0
+        durable_at = (self.store.take_pending_durable_at()
+                      if self.store is not None else None)
         if output.cpu_us > 0.0:
             self.workers.submit(output.cpu_us,
-                                lambda: self._flush(output, tc_ops))
+                                lambda: self._flush(output, tc_ops, durable_at))
         else:
-            self._flush(output, tc_ops)
+            self._flush(output, tc_ops, durable_at)
 
-    def _flush(self, output: HandlerOutput, tc_ops: int) -> None:
+    def _flush(self, output: HandlerOutput, tc_ops: int,
+               durable_at: Optional[Micros] = None) -> None:
+        if not self.active:
+            return  # a deferred flush from before a crash; the seat is dead
         departure = self.sim.now
         if tc_ops and self.trusted_device is not None:
             departure = self.trusted_device.reserve(operations=tc_ops)
+        if durable_at is not None:
+            # Messages reflecting a decision do not leave the replica before
+            # the decision is durable (WAL fsync / checkpoint write).
+            departure = max(departure, durable_at)
         for destination, message in output.outbound:
             self.network.send(self.name, destination, message,
                               earliest_departure=departure)
@@ -270,9 +317,22 @@ class BaseReplica:
             # Low watermark: the sequence number is covered by a stable
             # checkpoint and executed here, so a delayed phase message can
             # only resurrect consensus state the garbage collector pruned.
-            # (Messages for unexecuted seqs still pass: a lagging replica
-            # has no state transfer and must catch up through them.)
+            # (Messages for unexecuted seqs still pass: they may be the
+            # fastest way for a slightly lagging replica to catch up.)
             return
+        if (not self.recovering
+                and isinstance(payload, (PrePrepare, Prepare, Commit))
+                and self._lagging_behind(payload.seq)
+                and self.sim.now >= self._lag_recovery_after):
+            # The consensus frontier ran away from us (e.g. we sat behind a
+            # healed partition): fetch a checkpoint and the missing suffix
+            # from peers instead of replaying every phase message.  The
+            # claimed seq is unauthenticated at this point, so triggers are
+            # rate-limited: a forged high-seq message costs the replica at
+            # most one short (immediately caught-up) transfer round per
+            # timeout window, not a standing stall.
+            self._lag_recovery_after = self.sim.now + self.config.request_timeout_us
+            self.begin_recovery()
         if isinstance(payload, ClientRequest):
             self.on_client_request(payload, source)
         elif isinstance(payload, ResendRequest):
@@ -291,6 +351,12 @@ class BaseReplica:
             self.on_new_view(payload, source)
         elif isinstance(payload, CommitCertificate):
             self.on_commit_certificate(payload, source)
+        elif isinstance(payload, CheckpointRequest):
+            self.on_checkpoint_request(payload, source)
+        elif isinstance(payload, CheckpointReply):
+            self.on_checkpoint_reply(payload, source)
+        elif isinstance(payload, LogFill):
+            self.on_log_fill(payload, source)
         else:
             raise ProtocolError(
                 f"{self.protocol_name} replica cannot handle "
@@ -323,6 +389,13 @@ class BaseReplica:
             cost += c.ds_verify_us * max(1, len(payload.responders))
         elif isinstance(payload, CommitAck):
             cost += c.ds_verify_us
+        elif isinstance(payload, CheckpointRequest):
+            cost += c.ds_verify_us
+        elif isinstance(payload, CheckpointReply):
+            cost += (c.ds_verify_us * (1 + len(payload.certificate))
+                     + c.hash_us * 4)
+        elif isinstance(payload, LogFill):
+            cost += c.ds_verify_us + c.hash_us * max(1, len(payload.entries))
         return cost
 
     def charge(self, amount: Micros) -> None:
@@ -343,7 +416,9 @@ class BaseReplica:
             finally:
                 self._handler = None
             tc_ops = self.trusted.take_pending_accesses() if self.trusted else 0
-            self._flush_with_cost(output, tc_ops)
+            durable_at = (self.store.take_pending_durable_at()
+                          if self.store is not None else None)
+            self._flush_with_cost(output, tc_ops, durable_at)
             return
         self._queue(destination, message, sign, self._handler)
 
@@ -359,17 +434,21 @@ class BaseReplica:
                output: HandlerOutput) -> None:
         if self.outbound_filter is not None and not self.outbound_filter(destination, message):
             return
+        if self.recovering and isinstance(message, _CONSENSUS_OUTBOUND):
+            return
         if sign and id(message) not in output.signed_objects:
             output.signed_objects.add(id(message))
             output.cpu_us += self.costs.ds_sign_us
         output.cpu_us += self.costs.mac_generate_us
         output.outbound.append((destination, message))
 
-    def _flush_with_cost(self, output: HandlerOutput, tc_ops: int) -> None:
+    def _flush_with_cost(self, output: HandlerOutput, tc_ops: int,
+                         durable_at: Optional[Micros] = None) -> None:
         if output.cpu_us > 0.0:
-            self.workers.submit(output.cpu_us, lambda: self._flush(output, tc_ops))
+            self.workers.submit(output.cpu_us,
+                                lambda: self._flush(output, tc_ops, durable_at))
         else:
-            self._flush(output, tc_ops)
+            self._flush(output, tc_ops, durable_at)
 
     def signed(self, message):
         """Return a copy of ``message`` carrying this replica's signature."""
@@ -443,7 +522,7 @@ class BaseReplica:
 
     def maybe_propose(self) -> None:
         """Propose as many batches as the outstanding window allows."""
-        if not self.is_primary or self.in_view_change:
+        if not self.is_primary or self.in_view_change or self.recovering:
             return
         while (self.pending_requests
                and len(self.in_flight) < self.config.max_outstanding
@@ -558,21 +637,29 @@ class BaseReplica:
                                          speculative)
             if response is not None:
                 responses.append((request.client, response))
-        # Execution and reply signing happen off the consensus critical path:
-        # they occupy worker threads (and therefore contend with message
-        # verification under load) but do not delay the protocol messages
-        # produced by this handler.
-        reply_cost = (self.costs.execute_op_us * op_count
-                      + len(responses) * (self.costs.ds_sign_us
-                                          + self.costs.mac_generate_us))
-        release_seq = seq if self._sequential_speculative_primary() else None
-        self.workers.submit(reply_cost,
-                            lambda: self._send_replies(responses, release_seq))
         executed = ExecutedBatch(
             seq=seq, batch_digest=batch.digest(),
             request_ids=tuple(request_ids), results=tuple(results),
             executed_at=self.sim.now, speculative=speculative)
         self.ledger.record(executed)
+        durable_at: Optional[Micros] = None
+        if self.store is not None and self.store.wal_record(seq) is None:
+            # Replays from the local WAL skip the append (the record is the
+            # source); live decisions and peer-transferred batches land here.
+            durable_at = self.store.append_batch(seq, view, batch,
+                                                 executed.batch_digest)
+        # Execution and reply signing happen off the consensus critical path:
+        # they occupy worker threads (and therefore contend with message
+        # verification under load) but do not delay the protocol messages
+        # produced by this handler.  Replies do wait for the batch's WAL
+        # write: a replica only acknowledges what it could recover.
+        reply_cost = (self.costs.execute_op_us * op_count
+                      + len(responses) * (self.costs.ds_sign_us
+                                          + self.costs.mac_generate_us))
+        release_seq = seq if self._sequential_speculative_primary() else None
+        self.workers.submit(reply_cost,
+                            lambda: self._send_replies(responses, release_seq,
+                                                       durable_at))
         self.stats.batches_executed += 1
         self.safety.record_execution(self.replica_id, seq, view, batch.digest(),
                                      self.sim.now)
@@ -610,11 +697,17 @@ class BaseReplica:
         return response
 
     def _send_replies(self, responses: list[tuple[str, Response]],
-                      release_seq: Optional[SeqNum] = None) -> None:
+                      release_seq: Optional[SeqNum] = None,
+                      durable_at: Optional[Micros] = None) -> None:
         for client, response in responses:
+            if self.recovering:
+                # Replayed history: the replies were already delivered by the
+                # live replicas; the cache entries are kept for resends.
+                break
             if self.outbound_filter is not None and not self.outbound_filter(client, response):
                 continue
-            self.network.send(self.name, client, response)
+            self.network.send(self.name, client, response,
+                              earliest_departure=durable_at)
         if release_seq is not None:
             # Sequential speculative protocols (oFlexi-ZZ, MinZZ): the next
             # consensus invocation may only start once the previous one has
@@ -643,8 +736,12 @@ class BaseReplica:
         state_digest = self.state_machine.state_digest()
         self.charge(self.costs.hash_us * 4)
         # The digest is taken exactly after executing ``seq``; this is the
-        # point at which RSM safety requires honest replicas to agree.
+        # point at which RSM safety requires honest replicas to agree.  The
+        # snapshot taken alongside it is what checkpoint-based state transfer
+        # (and, once stable, the durable store) hands to rejoining replicas.
         self.safety.record_state_digest(self.replica_id, seq, state_digest)
+        self.ledger.store_snapshot(seq, self.state_machine.snapshot())
+        self.ledger.record_checkpoint_digest(seq, state_digest)
         checkpoint = self.signed(Checkpoint(seq=seq, state_digest=state_digest,
                                             replica=self.replica_id))
         self._record_checkpoint_vote(checkpoint)
@@ -658,12 +755,20 @@ class BaseReplica:
         if checkpoint.seq < self.ledger.stable_checkpoint:
             return  # already covered by a stable checkpoint; don't resurrect logs
         votes = self.checkpoint_votes.setdefault(checkpoint.seq, {})
-        votes[checkpoint.replica] = checkpoint.state_digest
-        matching = sum(1 for d in votes.values() if d == checkpoint.state_digest)
+        votes[checkpoint.replica] = checkpoint
+        matching = sum(1 for vote in votes.values()
+                       if vote.state_digest == checkpoint.state_digest)
         if matching >= self.checkpoint_quorum() and checkpoint.seq > self.ledger.stable_checkpoint:
             self.ledger.mark_stable(checkpoint.seq)
             self.ledger.truncate_below(checkpoint.seq - self.config.checkpoint_interval)
             self.stats.checkpoints_taken += 1
+            if (self.store is not None
+                    and self.ledger.checkpoint_digest(checkpoint.seq)
+                    == checkpoint.state_digest):
+                snapshot = self.ledger.snapshot_at(checkpoint.seq)
+                if snapshot is not None:
+                    self.store.save_checkpoint(checkpoint.seq,
+                                               checkpoint.state_digest, snapshot)
             self.garbage_collect(checkpoint.seq)
 
     def garbage_collect(self, stable_seq: SeqNum) -> None:
@@ -693,6 +798,261 @@ class BaseReplica:
         """Votes needed to declare a checkpoint stable (``f + 1``)."""
         return self.f + 1
 
+    # -------------------------------------------------------------- recovery
+    def _lagging_behind(self, seq: SeqNum) -> bool:
+        threshold = (self.ctx.recovery_config.lag_threshold_intervals
+                     * self.config.checkpoint_interval)
+        return threshold > 0 and seq > self.ledger.last_executed + threshold
+
+    def begin_recovery(self) -> None:
+        """Replay the local durable store, then fetch the rest from peers.
+
+        Called by the deployment after a restart rebuild, or by
+        :meth:`dispatch` when the replica notices it has fallen far behind
+        the consensus frontier.  Until recovery finishes the replica emits no
+        consensus messages and no client replies — it observes, replays, and
+        only then rejoins.
+        """
+        if self.recovering or not self.active:
+            return
+        self.recovering = True
+        self.stats.recoveries_started += 1
+        self._transfer = StateTransferSession(f=self.f, started_at=self.sim.now)
+        self._replay_local_store()
+        self._request_state_transfer()
+
+    def _replay_local_store(self) -> None:
+        if self.store is None:
+            return
+        checkpoint = self.store.checkpoint
+        if checkpoint is not None and checkpoint.seq > self.ledger.last_executed:
+            self._install_snapshot(checkpoint.seq, checkpoint.state_digest,
+                                   checkpoint.snapshot)
+        for record in self.store.wal_suffix(self.ledger.last_executed):
+            self.mark_committed(record.seq, record.batch, record.view)
+
+    def _request_state_transfer(self) -> None:
+        session = self._transfer
+        if session is None or not self.recovering:
+            return
+        if session.rounds >= self.ctx.recovery_config.max_transfer_rounds:
+            # Peers stopped moving the target or keep outrunning us; rejoin
+            # best-effort and let live traffic (or the lag trigger) finish.
+            self._finish_recovery()
+            return
+        request = self.signed(CheckpointRequest(
+            replica=self.replica_id, last_executed=self.ledger.last_executed,
+            round=session.next_round()))
+        for name in self.replica_names_except_self():
+            self.send(name, request)
+        self.recovery_timer.restart(self.config.request_timeout_us)
+
+    def _on_recovery_timeout(self) -> None:
+        if self.recovering and self.active:
+            self._request_state_transfer()
+
+    def on_checkpoint_request(self, request: CheckpointRequest, source: str) -> None:
+        """Serve a rejoining peer our stable checkpoint and log suffix."""
+        if self.recovering:
+            return  # we are catching up ourselves; nothing trustworthy to serve
+        seq = self.ledger.stable_checkpoint
+        state_digest = self.ledger.checkpoint_digest(seq) if seq > 0 else None
+        snapshot = self.ledger.snapshot_at(seq) if seq > 0 else None
+        if state_digest is None or snapshot is None:
+            # No usable stable checkpoint (e.g. we rejoined past it ourselves):
+            # offer log replay only.
+            seq, state_digest, snapshot = 0, b"", None
+        # Attach the f+1 signed votes that stabilised the checkpoint: with a
+        # valid certificate this single reply is enough for the requester.
+        certificate = tuple(
+            vote for vote in self.checkpoint_votes.get(seq, {}).values()
+            if vote.state_digest == state_digest)[:self.checkpoint_quorum()]
+        if len(certificate) < self.checkpoint_quorum():
+            certificate = ()
+        self.charge(self.costs.hash_us * 4)
+        reply = self.signed(CheckpointReply(
+            replica=self.replica_id, checkpoint_seq=seq,
+            state_digest=state_digest, last_executed=self.ledger.last_executed,
+            view=self.view, snapshot=snapshot, certificate=certificate))
+        self.send(source, reply)
+        entries = self._log_fill_entries(max(seq, request.last_executed))
+        if entries:
+            self.stats.log_fill_batches_sent += len(entries)
+            fill = self.signed(LogFill(replica=self.replica_id,
+                                       entries=tuple(entries)))
+            self.send(source, fill)
+
+    def _log_fill_entries(self, after_seq: SeqNum) -> list[LogFillEntry]:
+        """Decided batches above ``after_seq`` this replica can replay.
+
+        Preferably served from the durable store's WAL (which retains the
+        batches past consensus-instance garbage collection); the in-memory
+        instances are the fallback when durable stores are disabled.
+        """
+        limit = self.ctx.recovery_config.log_fill_limit
+        entries: list[LogFillEntry] = []
+        if self.store is not None:
+            for record in self.store.wal_suffix(after_seq):
+                entries.append(LogFillEntry(
+                    seq=record.seq, view=record.view, batch=record.batch,
+                    batch_digest=record.batch_digest))
+                if len(entries) >= limit:
+                    break
+            return entries
+        for seq in sorted(self.instances):
+            if seq <= after_seq:
+                continue
+            inst = self.instances[seq]
+            if inst.executed and inst.batch is not None and inst.batch_digest is not None:
+                entries.append(LogFillEntry(
+                    seq=seq, view=inst.view, batch=inst.batch,
+                    batch_digest=inst.batch_digest))
+                if len(entries) >= limit:
+                    break
+        return entries
+
+    def on_checkpoint_reply(self, reply: CheckpointReply, source: str) -> None:
+        """Collect peer checkpoints; install a certified or f+1-agreed one."""
+        session = self._transfer
+        if not self.recovering or session is None:
+            return
+        voter = self._voter_id(source)
+        if voter is None:
+            return
+        session.add_reply(voter, reply, certified=self._certificate_valid(reply))
+        candidate = session.checkpoint_candidate()
+        if candidate is not None:
+            seq, state_digest = candidate
+            if seq > self.ledger.last_executed and seq > session.installed_checkpoint:
+                for snapshot in session.snapshots_for(seq, state_digest):
+                    if self._install_snapshot(seq, state_digest, snapshot):
+                        session.installed_checkpoint = seq
+                        break
+        self._apply_ready_fills()
+        self.try_execute()
+        self._check_recovery_progress()
+
+    def _voter_id(self, source: str) -> Optional[ReplicaId]:
+        """Replica id of the authenticated channel a message arrived on.
+
+        Vote counting keys on the channel, not on the replica id stamped in
+        the message, so one byzantine peer cannot cast several votes.
+        """
+        try:
+            return self.ctx.replica_names.index(source)
+        except ValueError:
+            return None
+
+    def _certificate_valid(self, reply: CheckpointReply) -> bool:
+        """Whether the reply's f+1 signed Checkpoint votes check out."""
+        certificate = reply.certificate
+        if len(certificate) < self.checkpoint_quorum():
+            return False
+        voters: set[ReplicaId] = set()
+        for vote in certificate:
+            if not isinstance(vote, Checkpoint):
+                return False
+            if (vote.seq != reply.checkpoint_seq
+                    or vote.state_digest != reply.state_digest
+                    or vote.replica in voters
+                    or not 0 <= vote.replica < self.n):
+                return False
+            # The signature must come from the replica the vote claims —
+            # otherwise one byzantine peer could mint a whole certificate
+            # from its single signing key.
+            if (vote.signature is None
+                    or vote.signature.signer != self.ctx.replica_names[vote.replica]
+                    or not self.ctx.keystore.is_valid(vote.signed_part(),
+                                                      vote.signature)):
+                return False
+            voters.add(vote.replica)
+        return True
+
+    def _install_snapshot(self, seq: SeqNum, state_digest: bytes,
+                          snapshot: object) -> bool:
+        """Adopt a checkpoint snapshot, advancing the ledger to ``seq``."""
+        if snapshot is None:
+            return False
+        current = self.state_machine.snapshot()
+        self.state_machine.restore(snapshot)
+        self.charge(self.costs.hash_us * 4)
+        if state_digest and self.state_machine.state_digest() != state_digest:
+            self.state_machine.restore(current)
+            return False  # a lying peer slipped a bad snapshot into the quorum
+        self.ledger.mark_stable(seq)
+        self.ledger.last_executed = max(self.ledger.last_executed, seq)
+        self.ledger.store_snapshot(seq, snapshot)
+        if state_digest:
+            self.ledger.record_checkpoint_digest(seq, state_digest)
+            self.safety.record_state_digest(self.replica_id, seq, state_digest)
+        for stale in [s for s in self.executable if s <= seq]:
+            del self.executable[stale]
+        for stale in [s for s in self.instances if s <= seq]:
+            del self.instances[stale]
+        if self.store is not None:
+            self.store.save_checkpoint(seq, state_digest, snapshot)
+        return True
+
+    def on_log_fill(self, fill: LogFill, source: str) -> None:
+        """Collect decided batches peers sent to close our log gap.
+
+        Entries are votes, not truths: a batch replays only once ``f + 1``
+        distinct peers vouched for the same ``(seq, batch digest)``, so one
+        lying peer cannot make a rejoining replica execute fabricated state.
+        """
+        session = self._transfer
+        if not self.recovering or session is None:
+            return
+        voter = self._voter_id(source)
+        if voter is None:
+            return
+        for entry in fill.entries:
+            if entry.seq <= self.ledger.last_executed:
+                continue
+            if entry.batch.digest() != entry.batch_digest:
+                continue  # corrupt or forged entry
+            session.add_fill(voter, entry)
+        self._apply_ready_fills()
+        self._check_recovery_progress()
+
+    def _apply_ready_fills(self) -> None:
+        session = self._transfer
+        if session is None:
+            return
+        for entry in session.ready_fills(self.ledger.last_executed):
+            inst = self.instances.get(entry.seq)
+            if inst is not None and inst.committed:
+                continue
+            self.stats.log_fill_batches_applied += 1
+            self.mark_committed(entry.seq, entry.batch, entry.view)
+        session.prune_fills(self.ledger.last_executed)
+
+    def _check_recovery_progress(self) -> None:
+        session = self._transfer
+        if session is None or not self.recovering:
+            return
+        if session.caught_up(self.ledger.last_executed):
+            self._finish_recovery()
+        elif len(session.replies) >= self.n - 1:
+            # Every peer answered but the frontier moved on: go again now
+            # rather than waiting for the retry timer.
+            self._request_state_transfer()
+
+    def _finish_recovery(self) -> None:
+        """Rejoin consensus: adopt the peers' view and resume participating."""
+        session = self._transfer
+        self.recovering = False
+        self._transfer = None
+        self.recovery_timer.cancel()
+        self.stats.recoveries_completed += 1
+        self.recovered_at = self.sim.now
+        if session is not None and session.target_view > self.view:
+            self.enter_view(session.target_view)
+        self.next_seq = max(self.next_seq, self.ledger.last_executed,
+                            self.ledger.stable_checkpoint)
+        self.try_execute()
+        self.maybe_propose()
+
     # ---------------------------------------------------- speculative helpers
     def on_commit_certificate(self, certificate: CommitCertificate, source: str) -> None:
         """Acknowledge a client commit certificate (speculative protocols)."""
@@ -715,7 +1075,7 @@ class BaseReplica:
         return 2 * self.f + 1 if self.n >= 3 * self.f + 1 else self.f + 1
 
     def _on_progress_timeout(self) -> None:
-        if not self.active or self.in_view_change:
+        if not self.active or self.in_view_change or self.recovering:
             return
         self.initiate_view_change(self.view + 1)
 

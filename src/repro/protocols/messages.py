@@ -238,6 +238,73 @@ class NewView:
                                           for p in self.proposals)}
 
 
+# ------------------------------------------------------------ state transfer
+@dataclass(frozen=True)
+class CheckpointRequest:
+    """A restarted or lagging replica asking its peers for catch-up state."""
+
+    replica: ReplicaId
+    last_executed: SeqNum
+    round: int = 1
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"replica": self.replica, "last_executed": self.last_executed,
+                "round": self.round}
+
+
+@dataclass(frozen=True)
+class CheckpointReply:
+    """A peer's latest stable checkpoint plus where its log currently ends.
+
+    ``snapshot`` carries the state-machine snapshot taken at
+    ``checkpoint_seq`` (``None`` when the peer has no stable checkpoint yet).
+    ``certificate`` carries the ``f + 1`` signed :class:`Checkpoint` votes
+    that stabilised it: a reply with a valid certificate is self-certifying,
+    otherwise the requester waits until ``f + 1`` replies independently agree
+    on ``(checkpoint_seq, state_digest)`` — either way, one lying peer cannot
+    poison the rejoiner's state.
+    """
+
+    replica: ReplicaId
+    checkpoint_seq: SeqNum
+    state_digest: bytes
+    last_executed: SeqNum
+    view: ViewNum
+    snapshot: Optional[object] = None
+    certificate: tuple[Checkpoint, ...] = ()
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"replica": self.replica, "checkpoint_seq": self.checkpoint_seq,
+                "state_digest": self.state_digest,
+                "last_executed": self.last_executed, "view": self.view}
+
+
+@dataclass(frozen=True)
+class LogFillEntry:
+    """One decided batch a peer replays to a recovering replica."""
+
+    seq: SeqNum
+    view: ViewNum
+    batch: RequestBatch
+    batch_digest: bytes
+
+
+@dataclass(frozen=True)
+class LogFill:
+    """Decided batches above the checkpoint, replayed peer-to-peer."""
+
+    replica: ReplicaId
+    entries: tuple[LogFillEntry, ...]
+    signature: Optional[Signature] = None
+
+    def signed_part(self) -> dict:
+        return {"replica": self.replica,
+                "entry_digests": tuple((e.seq, e.batch_digest)
+                                       for e in self.entries)}
+
+
 #: A batch of no-op requests used by new primaries to fill sequence gaps.
 NOOP_REQUEST = ClientRequest(
     request_id=RequestId(client="__noop__", number=0),

@@ -1,0 +1,127 @@
+"""Recovery-experiment analysis: throughput dips and time-to-recover.
+
+The ``figure_recovery`` experiment runs a deployment through a timed
+crash → restart schedule and wants two numbers the steady-state summary in
+:class:`~repro.runtime.metrics.RunMetrics` cannot provide: how deep the
+throughput dips while the replica is down, and how long after the restart it
+takes the deployment to climb back to its pre-crash rate.  Both come from the
+same primitive — completion timestamps bucketed into fixed windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from ..common.types import MICROS_PER_SECOND, Micros
+
+if TYPE_CHECKING:  # protocols.base imports this package; keep runtime out
+    from ..runtime.metrics import CompletionRecord
+
+
+def windowed_throughput(completions: "Iterable[CompletionRecord]",
+                        bucket_us: Micros,
+                        until_us: Optional[Micros] = None) -> list[float]:
+    """Completed transactions per second, bucketed into fixed windows.
+
+    Bucket ``i`` covers ``[i * bucket_us, (i + 1) * bucket_us)``; the result
+    extends to ``until_us`` (or the last completion) so trailing silence shows
+    up as zero-throughput buckets rather than being truncated away.
+    """
+    if bucket_us <= 0:
+        raise ValueError("bucket width must be positive")
+    records = list(completions)
+    horizon = max([until_us or 0.0] + [r.completed_at for r in records])
+    buckets = [0] * (int(horizon // bucket_us) + 1)
+    for record in records:
+        buckets[int(record.completed_at // bucket_us)] += 1
+    scale = MICROS_PER_SECOND / bucket_us
+    return [count * scale for count in buckets]
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """Shape of one crash → restart → rejoin timeline."""
+
+    pre_crash_tx_s: float
+    dip_tx_s: float
+    post_recovery_tx_s: float
+    #: simulated seconds from the restart until windowed throughput first
+    #: climbs back above ``recovered_fraction`` of the pre-crash rate
+    #: (``None`` when it never does within the run).
+    time_to_recover_s: Optional[float]
+    recovered_fraction: float
+
+    @property
+    def dip_fraction(self) -> float:
+        """Dip depth relative to the pre-crash rate (0 = no dip, 1 = stall)."""
+        if self.pre_crash_tx_s <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.dip_tx_s / self.pre_crash_tx_s)
+
+    @property
+    def recovered(self) -> bool:
+        """Whether throughput climbed back within the run."""
+        return self.time_to_recover_s is not None
+
+    def as_row(self) -> dict:
+        """Flat columns merged into the experiment tables."""
+        return {
+            "pre_crash_tx_s": round(self.pre_crash_tx_s, 1),
+            "dip_tx_s": round(self.dip_tx_s, 1),
+            "dip_fraction": round(self.dip_fraction, 3),
+            "post_recovery_tx_s": round(self.post_recovery_tx_s, 1),
+            "time_to_recover_s": (None if self.time_to_recover_s is None
+                                  else round(self.time_to_recover_s, 3)),
+        }
+
+
+def recovery_summary(completions: "Iterable[CompletionRecord]",
+                     crash_us: Micros, restart_us: Micros,
+                     end_us: Micros, bucket_us: Micros = 100_000.0,
+                     recovered_fraction: float = 0.9,
+                     warmup_us: Micros = 0.0) -> RecoverySummary:
+    """Measure dip depth and time-to-recover around a crash/restart pair.
+
+    The pre-crash rate averages the buckets between ``warmup_us`` and the
+    crash; the dip is the lowest bucket between the crash and recovery; the
+    recovery point is the first bucket at or after the restart whose rate
+    reaches ``recovered_fraction`` of the pre-crash rate.
+    """
+    if not warmup_us < crash_us < restart_us <= end_us:
+        raise ValueError("expected warmup < crash < restart <= end")
+    buckets = windowed_throughput(completions, bucket_us, until_us=end_us)
+
+    def bucket_range(start: Micros, stop: Micros) -> list[float]:
+        lo = int(start // bucket_us)
+        hi = max(lo + 1, int(stop // bucket_us))
+        return buckets[lo:hi]
+
+    pre = bucket_range(warmup_us, crash_us)
+    pre_rate = sum(pre) / len(pre) if pre else 0.0
+
+    recover_index: Optional[int] = None
+    threshold = recovered_fraction * pre_rate
+    for index in range(int(restart_us // bucket_us), len(buckets)):
+        if buckets[index] >= threshold:
+            recover_index = index
+            break
+
+    dip_stop = (restart_us if recover_index is None
+                else min(end_us, (recover_index + 1) * bucket_us))
+    dip = bucket_range(crash_us, max(dip_stop, crash_us + bucket_us))
+    post_start = (restart_us if recover_index is None
+                  else recover_index * bucket_us)
+    # Drop the final bucket: the run usually stops mid-bucket, which would
+    # read as an artificial throughput collapse.
+    post = bucket_range(post_start, end_us)[:-1] or bucket_range(post_start, end_us)
+
+    return RecoverySummary(
+        pre_crash_tx_s=pre_rate,
+        dip_tx_s=min(dip) if dip else 0.0,
+        post_recovery_tx_s=sum(post) / len(post) if post else 0.0,
+        time_to_recover_s=(None if recover_index is None else
+                           max(0.0, recover_index * bucket_us - restart_us)
+                           / MICROS_PER_SECOND),
+        recovered_fraction=recovered_fraction,
+    )

@@ -1,0 +1,166 @@
+"""Durable per-replica storage: a write-ahead log plus checkpoint snapshots.
+
+A :class:`DurableStore` models the disk of one replica.  It outlives the
+replica object itself — the deployment keeps one store per seat and hands it
+to whichever replica incarnation currently occupies that seat — which is what
+makes a crash/restart cycle meaningful: protocol state dies with the replica,
+the store does not.
+
+Two things are persisted:
+
+* **Write-ahead log** — every decided-and-executed batch ``(seq, view,
+  batch)``.  Unlike the in-memory :class:`~repro.execution.ledger.Ledger`
+  (which keeps only digests and results), the WAL keeps the batches
+  themselves, so a restarted replica can re-execute its own suffix locally
+  and peers can serve ``LogFill`` messages from their WAL instead of from
+  garbage-collected consensus instances.
+* **Checkpoint** — the state-machine snapshot taken at the latest *stable*
+  checkpoint, together with its digest.  Saving a checkpoint truncates the
+  WAL prefix it covers, bounding the store like the in-memory GC bounds the
+  replica.
+
+Every write reserves the store's serial disk device for the configured fsync
+latency, so durability has a simulated-time price: the replica runtime holds
+outbound messages produced by a handler until that handler's writes are on
+disk, exactly like it holds them for trusted-device accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..common.types import Micros, SeqNum, ViewNum
+from ..sim.kernel import Simulator
+from ..sim.resources import SerialDevice
+
+if TYPE_CHECKING:  # imported for annotations only; avoids a layering cycle
+    from ..common.config import RecoveryConfig
+    from ..protocols.messages import RequestBatch
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decided batch as persisted in the write-ahead log."""
+
+    seq: SeqNum
+    view: ViewNum
+    batch: "RequestBatch"
+    batch_digest: bytes
+
+
+@dataclass(frozen=True)
+class StoredCheckpoint:
+    """A stable-checkpoint snapshot as persisted on disk."""
+
+    seq: SeqNum
+    state_digest: bytes
+    snapshot: object
+
+
+@dataclass
+class DurableStoreStats:
+    """How the store was used; feeds the recovery experiments."""
+
+    wal_appends: int = 0
+    checkpoints_saved: int = 0
+    wal_records_truncated: int = 0
+    replays_served: int = 0
+
+    @property
+    def total_syncs(self) -> int:
+        """Number of fsync-equivalent operations performed."""
+        return self.wal_appends + self.checkpoints_saved
+
+
+class DurableStore:
+    """The durable storage of one replica seat."""
+
+    def __init__(self, name: str, sim: Simulator, config: "RecoveryConfig") -> None:
+        self.name = name
+        self.config = config
+        self.disk = SerialDevice(sim, config.fsync_latency_us,
+                                 name=f"disk/{name}")
+        self.stats = DurableStoreStats()
+        self._wal: dict[SeqNum, WalRecord] = {}
+        self._checkpoint: Optional[StoredCheckpoint] = None
+        self._pending_durable_at: Optional[Micros] = None
+
+    # -------------------------------------------------------------- writing
+    def append_batch(self, seq: SeqNum, view: ViewNum, batch: "RequestBatch",
+                     batch_digest: bytes) -> Micros:
+        """Append a decided batch to the WAL (one fsync).
+
+        Returns the simulated time at which the write is durable; replies
+        acknowledging the batch must not leave before it.
+        """
+        self._wal[seq] = WalRecord(seq=seq, view=view, batch=batch,
+                                   batch_digest=batch_digest)
+        self.stats.wal_appends += 1
+        return self._sync()
+
+    def save_checkpoint(self, seq: SeqNum, state_digest: bytes,
+                        snapshot: object) -> Optional[Micros]:
+        """Persist a stable checkpoint and truncate the WAL prefix it covers."""
+        if self._checkpoint is not None and self._checkpoint.seq >= seq:
+            return None
+        self._checkpoint = StoredCheckpoint(seq=seq, state_digest=state_digest,
+                                            snapshot=snapshot)
+        self.stats.checkpoints_saved += 1
+        dropped = [s for s in self._wal if s <= seq]
+        for s in dropped:
+            del self._wal[s]
+        self.stats.wal_records_truncated += len(dropped)
+        return self._sync()
+
+    def wipe(self) -> None:
+        """Discard everything — a (byzantine) host throwing away its disk."""
+        self._wal.clear()
+        self._checkpoint = None
+
+    # -------------------------------------------------------------- timing
+    def _sync(self) -> Micros:
+        durable_at = self.disk.reserve(operations=1)
+        if (self._pending_durable_at is None
+                or durable_at > self._pending_durable_at):
+            self._pending_durable_at = durable_at
+        return durable_at
+
+    def take_pending_durable_at(self) -> Optional[Micros]:
+        """Completion time of writes issued since the last call, if any.
+
+        Mirrors
+        :meth:`~repro.trusted.component.TrustedComponentHost.take_pending_accesses`:
+        the replica runtime holds messages produced by the writing handler
+        until the handler's durable writes have completed.
+        """
+        pending = self._pending_durable_at
+        self._pending_durable_at = None
+        return pending
+
+    # -------------------------------------------------------------- reading
+    @property
+    def checkpoint(self) -> Optional[StoredCheckpoint]:
+        """The latest persisted stable checkpoint, if any."""
+        return self._checkpoint
+
+    @property
+    def checkpoint_seq(self) -> SeqNum:
+        """Sequence number of the persisted checkpoint (0 if none)."""
+        return 0 if self._checkpoint is None else self._checkpoint.seq
+
+    def wal_suffix(self, after_seq: SeqNum = 0) -> list[WalRecord]:
+        """WAL records with sequence numbers above ``after_seq``, in order."""
+        return [self._wal[s] for s in sorted(self._wal) if s > after_seq]
+
+    def wal_record(self, seq: SeqNum) -> Optional[WalRecord]:
+        """The WAL record at ``seq``, if still retained."""
+        return self._wal.get(seq)
+
+    def __len__(self) -> int:
+        return len(self._wal)
+
+    def replay_cost_us(self) -> Micros:
+        """Simulated time to read the checkpoint + WAL suffix at restart."""
+        records = len(self._wal) + (1 if self._checkpoint is not None else 0)
+        return self.config.replay_latency_us * records

@@ -1,0 +1,138 @@
+"""Bookkeeping for one replica's peer state transfer.
+
+The wire protocol lives in :mod:`repro.protocols.messages`
+(``CheckpointRequest`` / ``CheckpointReply`` / ``LogFill``) and its handlers
+in :class:`~repro.protocols.base.BaseReplica`; this module holds the session
+state a recovering replica keeps between those handler invocations.  Nothing
+in a session trusts a single peer:
+
+* a checkpoint snapshot is only installed once its ``(seq, digest)`` is
+  *certified* (the reply carried ``f + 1`` valid signed ``Checkpoint`` votes,
+  verified by the replica before :meth:`add_reply`) or ``f + 1`` replies
+  independently agree on it;
+* a ``LogFill`` batch is only replayed once ``f + 1`` distinct peers vouched
+  for the same ``(seq, batch digest)``;
+* the catch-up *target* (and the view adopted at rejoin) is the largest value
+  at least ``f + 1`` peers reported — one lying peer can neither inflate the
+  target nor drag the rejoiner into a bogus view.
+
+Voters are identified by the authenticated channel a message arrived on, not
+by the replica id stamped inside it, so one byzantine peer cannot cast many
+votes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..common.types import Micros, ReplicaId, SeqNum, ViewNum
+
+if TYPE_CHECKING:
+    from ..protocols.messages import CheckpointReply, LogFillEntry
+
+
+@dataclass
+class StateTransferSession:
+    """Progress of one recovery (restart or lag-triggered catch-up)."""
+
+    f: int
+    started_at: Micros
+    rounds: int = 0
+    #: per-voter latest reply plus whether its checkpoint certificate verified.
+    replies: dict[ReplicaId, tuple["CheckpointReply", bool]] = field(
+        default_factory=dict)
+    #: candidate batches keyed by (seq, batch digest), with the voters backing
+    #: each; entries survive rounds so votes accumulate across re-requests.
+    fill_entries: dict[tuple[SeqNum, bytes], "LogFillEntry"] = field(
+        default_factory=dict)
+    fill_votes: dict[tuple[SeqNum, bytes], set[ReplicaId]] = field(
+        default_factory=dict)
+    installed_checkpoint: SeqNum = 0
+    target_seq: SeqNum = 0
+    target_view: ViewNum = 0
+    #: set once f+1 replies have established a catch-up target; until then
+    #: the session cannot declare itself caught up (a LogFill racing ahead
+    #: of the first CheckpointReply must not end the recovery at target 0).
+    target_known: bool = False
+
+    # -------------------------------------------------------------- replies
+    def add_reply(self, voter: ReplicaId, reply: "CheckpointReply",
+                  certified: bool) -> None:
+        """Record a peer's reply; targets advance on ``f + 1`` agreement."""
+        self.replies[voter] = (reply, certified)
+        if len(self.replies) > self.f:
+            self.target_known = True
+        self.target_seq = max(self.target_seq,
+                              self._agreed(lambda r: r.last_executed))
+        self.target_view = max(self.target_view, self._agreed(lambda r: r.view))
+
+    def _agreed(self, key: Callable[["CheckpointReply"], int]) -> int:
+        """Largest value at least ``f + 1`` current replies vouch for."""
+        values = sorted((key(reply) for reply, _ in self.replies.values()),
+                        reverse=True)
+        return values[self.f] if len(values) > self.f else 0
+
+    def checkpoint_candidate(self) -> Optional[tuple[SeqNum, bytes]]:
+        """The best installable ``(seq, digest)``: certified, or ``f+1``-agreed.
+
+        A verified certificate already embeds an ``f + 1`` vote quorum, so a
+        single certified reply suffices; uncertified replies must agree among
+        ``f + 1`` distinct senders.  Ties resolve towards the highest
+        sequence number so the rejoiner replays the shortest suffix.
+        """
+        counts: dict[tuple[SeqNum, bytes], int] = {}
+        candidates: list[tuple[SeqNum, bytes]] = []
+        for reply, certified in self.replies.values():
+            key = (reply.checkpoint_seq, reply.state_digest)
+            if certified:
+                candidates.append(key)
+            counts[key] = counts.get(key, 0) + 1
+        candidates.extend(key for key, count in counts.items()
+                          if count >= self.f + 1)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda key: key[0])
+
+    def snapshots_for(self, seq: SeqNum, digest: bytes) -> list[object]:
+        """Candidate snapshots carried by the replies matching the quorum."""
+        return [reply.snapshot for reply, _ in self.replies.values()
+                if reply.checkpoint_seq == seq
+                and reply.state_digest == digest
+                and reply.snapshot is not None]
+
+    # ---------------------------------------------------------------- fills
+    def add_fill(self, voter: ReplicaId, entry: "LogFillEntry") -> None:
+        """Count a peer's vote for one decided batch."""
+        key = (entry.seq, entry.batch_digest)
+        self.fill_entries.setdefault(key, entry)
+        self.fill_votes.setdefault(key, set()).add(voter)
+
+    def ready_fills(self, last_executed: SeqNum) -> list["LogFillEntry"]:
+        """Unapplied batches with an ``f + 1`` vote quorum, in seq order."""
+        ready = [entry for key, entry in self.fill_entries.items()
+                 if entry.seq > last_executed
+                 and len(self.fill_votes[key]) >= self.f + 1]
+        return sorted(ready, key=lambda entry: entry.seq)
+
+    def prune_fills(self, last_executed: SeqNum) -> None:
+        """Drop candidates the replica has meanwhile executed past."""
+        stale = [key for key in self.fill_entries if key[0] <= last_executed]
+        for key in stale:
+            del self.fill_entries[key]
+            del self.fill_votes[key]
+
+    # -------------------------------------------------------------- rounds
+    def next_round(self) -> int:
+        """Start a new request round: clear stale replies, bump the counter.
+
+        Fill votes are kept — they accumulate across rounds, which is what
+        lets a slightly lagging peer contribute its vote one round later.
+        """
+        self.rounds += 1
+        self.replies.clear()
+        return self.rounds
+
+    def caught_up(self, last_executed: SeqNum) -> bool:
+        """Whether the replica has executed everything the quorum reported."""
+        return self.target_known and last_executed >= self.target_seq

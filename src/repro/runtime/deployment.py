@@ -3,10 +3,18 @@
 A :class:`Deployment` wires every substrate together from a single
 :class:`~repro.common.config.DeploymentConfig`: it creates the simulator, the
 key store, the topology and network, one replica (with state machine, worker
-pool and — when the protocol needs it — a trusted component and its timed
-device) per seat, and the closed-loop clients.  Experiments then either call
-:meth:`run_until_target` for throughput measurements or drive the simulator
-directly for attack scenarios.
+pool, durable store and — when the protocol needs it — a trusted component
+and its timed device) per seat, and the closed-loop clients.  Experiments
+then either call :meth:`run_until_target` for throughput measurements or
+drive the simulator directly for attack scenarios.
+
+Replica *seats* outlive replica *objects*: :meth:`crash_replica` /
+:meth:`restart_replica` (usually driven by a
+:class:`~repro.recovery.schedule.FaultSchedule`) tear a replica down and
+rebuild a fresh incarnation on the same seat.  The durable store and the
+trusted device always survive a restart; the trusted component's *state*
+survives only when the configured hardware is persistent — a volatile SGX
+counter comes back at zero, which is the paper's Section 6 rollback surface.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ from ..net.network import Network
 from ..net.topology import build_topology
 from ..protocols.base import BaseReplica, ReplicaContext
 from ..protocols.registry import ProtocolSpec, get_protocol
+from ..recovery.schedule import FaultSchedule
+from ..recovery.store import DurableStore
 from ..sim.kernel import Simulator
 from ..sim.resources import SerialDevice
 from ..sim.rng import RngRegistry
@@ -87,12 +97,14 @@ class Deployment:
                  rng: Optional[RngRegistry] = None,
                  keystore: Optional[KeyStore] = None,
                  name_prefix: str = "",
-                 build_clients: bool = True) -> None:
+                 build_clients: bool = True,
+                 fault_schedule: Optional[FaultSchedule] = None) -> None:
         self.config = config
         self.spec = spec if spec is not None else get_protocol(config.protocol)
         self.n = self.spec.replicas(config.f)
         config.validate(self.n)
         self.f = config.f
+        self._replica_factory = replica_factory
 
         protocol_config = config.protocol_config
         if self.spec.consensus_mode is ConsensusMode.SEQUENTIAL:
@@ -125,6 +137,12 @@ class Deployment:
                            if i not in byzantine and i not in crashed)
         self.safety = SafetyMonitor(honest_replicas=honest)
 
+        self.stores: list[Optional[DurableStore]] = [
+            DurableStore(name, self.sim, config.recovery)
+            if config.recovery.durable_store else None
+            for name in self.replica_names]
+        self._trusted_devices: dict[int, SerialDevice] = {}
+
         self.replicas: list[BaseReplica] = []
         for replica_id in range(self.n):
             replica = self._build_replica(replica_id, replica_factory)
@@ -132,6 +150,13 @@ class Deployment:
             self.network.register(replica)
         for replica_id in crashed:
             self.replicas[replica_id].crash()
+
+        self.fault_schedule = fault_schedule
+        if fault_schedule is not None:
+            fault_schedule.validate(self.n, self.f,
+                                    static_crashed=config.faults.crashed,
+                                    byzantine=config.faults.byzantine)
+            fault_schedule.install(self)
 
         self.clients: list[Client] = []
         for index, name in enumerate(self.client_names):
@@ -149,14 +174,21 @@ class Deployment:
 
     # ------------------------------------------------------------- building
     def _build_replica(self, replica_id: int,
-                       replica_factory: Optional[ReplicaFactory]) -> BaseReplica:
-        trusted = None
-        trusted_device = None
-        if self.spec.uses_trusted or replica_factory is not None:
+                       replica_factory: Optional[ReplicaFactory],
+                       trusted_override: Optional[TrustedComponentHost] = None
+                       ) -> BaseReplica:
+        trusted = trusted_override
+        trusted_device = None if trusted is None else trusted.device
+        if trusted is None and (self.spec.uses_trusted or replica_factory is not None):
             tc_key = self.keystore.register(f"tc/{self.replica_names[replica_id]}")
-            trusted_device = SerialDevice(
-                self.sim, self.config.trusted_hardware.access_latency_us,
-                name=f"tc-device/{self.replica_names[replica_id]}")
+            trusted_device = self._trusted_devices.get(replica_id)
+            if trusted_device is None:
+                # The physical device outlives the replica object: a rebuilt
+                # replica talks to the same (possibly still busy) hardware.
+                trusted_device = SerialDevice(
+                    self.sim, self.config.trusted_hardware.access_latency_us,
+                    name=f"tc-device/{self.replica_names[replica_id]}")
+                self._trusted_devices[replica_id] = trusted_device
             trusted = TrustedComponentHost(tc_key, self.config.trusted_hardware,
                                            trusted_device)
         state_machine = KeyValueStore(records=self.config.workload.records,
@@ -169,7 +201,9 @@ class Deployment:
             client_names=self.client_names, state_machine=state_machine,
             safety=self.safety, trusted=trusted, trusted_device=trusted_device,
             trusted_spec=self.config.trusted_hardware,
-            one_way_latency_us=self._typical_one_way_latency())
+            one_way_latency_us=self._typical_one_way_latency(),
+            store=self.stores[replica_id],
+            recovery_config=self.config.recovery)
         if replica_factory is not None:
             return replica_factory(replica_id, ctx)
         return self.spec.build_replica(replica_id, ctx)
@@ -224,6 +258,50 @@ class Deployment:
             per_replica_executed={r.replica_id: r.stats.batches_executed
                                   for r in self.replicas},
         )
+
+    # -------------------------------------------------------- fault injection
+    def crash_replica(self, replica_id: int) -> None:
+        """Crash a replica mid-run: it stops processing and sending."""
+        self.replicas[replica_id].crash()
+
+    def restart_replica(self, replica_id: int, recover: bool = True,
+                        wipe_store: bool = False) -> BaseReplica:
+        """Tear down and rebuild the replica on seat ``replica_id``.
+
+        All protocol state (view, instances, reply caches) dies with the old
+        incarnation.  What the new one inherits models the hardware:
+
+        * the **durable store** always survives (unless ``wipe_store`` models
+          a host discarding its disk),
+        * the **trusted component's state** survives only on persistent
+          hardware; a volatile component restarts empty, so its counters
+          reset — the Section 6 rollback exposure, now reachable through an
+          ordinary restart,
+        * the **trusted device** (its timing) is the same physical resource.
+
+        With ``recover=True`` the new incarnation replays its local store and
+        runs the peer state-transfer protocol before rejoining consensus.
+        """
+        old = self.replicas[replica_id]
+        if old.active:
+            old.crash()
+        store = self.stores[replica_id]
+        if store is not None and wipe_store:
+            store.wipe()
+        trusted_override = None
+        if old.trusted is not None and self.config.trusted_hardware.persistent:
+            trusted_override = old.trusted
+        replica = self._build_replica(replica_id, self._replica_factory,
+                                      trusted_override=trusted_override)
+        self.replicas[replica_id] = replica
+        self.network.register(replica)
+        if recover:
+            delay = store.replay_cost_us() if store is not None else 0.0
+            if delay > 0:
+                self.sim.schedule(delay, replica.begin_recovery)
+            else:
+                replica.begin_recovery()
+        return replica
 
     # ----------------------------------------------------------- inspection
     @property

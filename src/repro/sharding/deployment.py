@@ -18,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..common.errors import ConfigurationError
 from ..common.types import Micros
 from ..crypto.keystore import KeyStore
+from ..recovery.schedule import FaultSchedule
 from ..runtime.deployment import (
     Deployment,
     measurement_warmup_fraction,
@@ -57,7 +59,8 @@ class ShardedRunResult:
 class ShardedDeployment:
     """*K* consensus groups over a partitioned keyspace in one simulator."""
 
-    def __init__(self, config: ShardedConfig) -> None:
+    def __init__(self, config: ShardedConfig,
+                 fault_schedules: Optional[dict[int, FaultSchedule]] = None) -> None:
         config.validate()
         self.config = config
         self.num_shards = config.num_shards
@@ -71,7 +74,16 @@ class ShardedDeployment:
         # One full deployment per group, on the shared simulator/key store.
         # Each group's rng registry is seeded from its shard_config, so
         # jitter streams are independent across shards but reproducible
-        # from the base seed.
+        # from the base seed.  Fault schedules address replicas *per group*:
+        # ``fault_schedules[2]`` crashes and restarts replicas of shard 2
+        # only, leaving the other groups' timelines untouched.
+        self.fault_schedules = dict(fault_schedules or {})
+        unknown = sorted(s for s in self.fault_schedules
+                         if not 0 <= s < config.num_shards)
+        if unknown:
+            raise ConfigurationError(
+                f"fault schedules address shards {unknown}, but the "
+                f"deployment only has shards 0..{config.num_shards - 1}")
         self.groups: list[Deployment] = []
         for shard in range(config.num_shards):
             shard_cfg = config.shard_config(shard)
@@ -79,7 +91,8 @@ class ShardedDeployment:
                 shard_cfg, sim=self.sim,
                 rng=RngRegistry(shard_cfg.experiment.seed),
                 keystore=self.keystore,
-                name_prefix=f"shard{shard}/", build_clients=False))
+                name_prefix=f"shard{shard}/", build_clients=False,
+                fault_schedule=self.fault_schedules.get(shard)))
 
         self.clients: list[ShardedClient] = []
         for index in range(config.effective_num_clients):

@@ -1,12 +1,16 @@
 """Command-line entry point: ``python -m repro`` (or the ``repro`` script).
 
 Runs any figure experiment from :data:`repro.runtime.ALL_EXPERIMENTS` and
-prints its row table::
+prints its row table, or drives the performance harness::
 
     python -m repro list
     python -m repro run figure6_throughput
     python -m repro run figure_recovery --scale paper
     python -m repro run figure6_batching --protocols pbft flexi-bft
+    python -m repro perf --scenarios smoke
+    python -m repro perf --scenarios fig1 crypto --scale medium
+    python -m repro perf --scenarios smoke --check-baseline benchmarks/baselines
+    python -m repro perf --scenarios smoke --update-baseline benchmarks/baselines
 """
 
 from __future__ import annotations
@@ -39,6 +43,31 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--protocols", nargs="+", metavar="PROTOCOL",
                      help="restrict the experiment to these protocols "
                           "(experiments that fix their protocol ignore this)")
+
+    perf = subparsers.add_parser(
+        "perf", help="run performance scenarios, write BENCH_*.json, "
+                     "optionally gate against committed baselines")
+    perf.add_argument("--scenarios", nargs="+", metavar="NAME",
+                      default=["smoke"],
+                      help="scenario names (fig1, recovery, sharding_scaleout, "
+                           "kernel, network, crypto) and/or suite names "
+                           "(smoke, medium, large); default: smoke")
+    perf.add_argument("--scale", default=None,
+                      help="run every selected scenario (and suite) at this "
+                           "scale (smoke, medium, large, wan); without it, "
+                           "suites use their own scale and bare scenarios "
+                           "default to smoke")
+    perf.add_argument("--out", default=".", metavar="DIR",
+                      help="directory BENCH_<scenario>.json files are "
+                           "written to (default: current directory)")
+    perf.add_argument("--check-baseline", default=None, metavar="DIR",
+                      help="compare fresh results against the baseline JSONs "
+                           "in DIR; exit 1 on regression, digest mismatch or "
+                           "missing baseline")
+    perf.add_argument("--update-baseline", default=None, metavar="DIR",
+                      help="write fresh results into DIR as the new baselines")
+    perf.add_argument("--list", action="store_true", dest="list_scenarios",
+                      help="list scenarios, suites and scales, then exit")
     return parser
 
 
@@ -69,8 +98,105 @@ def main(argv: Optional[list[str]] = None) -> int:
         rows = run_experiment(args.figure, args.scale, args.protocols)
         print_rows(f"{args.figure} ({args.scale} scale)", rows)
         return 0
+    if args.command == "perf":
+        return run_perf(args)
     parser.print_help()
     return 2
+
+
+def _resolve_perf_selection(names: list[str],
+                            scale: Optional[str]) -> list[tuple[str, str]]:
+    """Expand suite names; an explicit ``--scale`` overrides every entry."""
+    from .perf import PERF_SCALES, SCENARIOS, SUITES
+
+    selection: list[tuple[str, str]] = []
+    for name in names:
+        if name in SUITES:
+            if scale is not None:
+                selection.extend((scenario, scale) for scenario, _ in SUITES[name])
+            else:
+                selection.extend(SUITES[name])
+        elif name in SCENARIOS:
+            selection.append((name, scale or "smoke"))
+        else:
+            raise SystemExit(
+                f"unknown scenario or suite {name!r}; scenarios: "
+                f"{', '.join(sorted(SCENARIOS))}; suites: "
+                f"{', '.join(sorted(SUITES))}")
+    for _, scale_name in selection:
+        if scale_name not in PERF_SCALES:
+            raise SystemExit(
+                f"unknown scale {scale_name!r}; scales: "
+                f"{', '.join(sorted(PERF_SCALES))}")
+    return selection
+
+
+def run_perf(args) -> int:
+    """Run the selected performance scenarios; optionally gate on baselines."""
+    import json
+    import os
+
+    from .perf import (
+        PERF_SCALES,
+        SCENARIOS,
+        SUITES,
+        baseline_path,
+        calibrate,
+        compare_result,
+        format_comparison,
+        load_baseline,
+        result_payload,
+        run_scenario,
+        write_bench_json,
+    )
+    from .perf.runner import format_result
+
+    if args.list_scenarios:
+        print("scenarios:", ", ".join(sorted(SCENARIOS)))
+        print("suites:   ", ", ".join(sorted(SUITES)))
+        print("scales:   ", ", ".join(sorted(PERF_SCALES)))
+        return 0
+    selection = _resolve_perf_selection(args.scenarios, args.scale)
+    calibration = calibrate()
+    print(f"machine calibration: {calibration:.3f}s")
+    payloads = []
+    for scenario, scale_name in selection:
+        result = run_scenario(scenario, scale_name,
+                              calibration_seconds=calibration)
+        print(format_result(result))
+        path = write_bench_json(result, args.out)
+        print(f"  -> {path}")
+        payloads.append(result_payload(result))
+    # Check before update: with both flags pointing at one directory the
+    # comparison must run against the *pre-existing* baselines (comparing
+    # fresh results to their own just-written copies would always pass), and
+    # regressed results must not overwrite the baselines they failed against.
+    if args.check_baseline:
+        failures = 0
+        for payload in payloads:
+            baseline = load_baseline(
+                baseline_path(args.check_baseline, payload["scenario"]))
+            comparison = compare_result(payload, baseline)
+            print(format_comparison(comparison))
+            if not comparison.ok:
+                failures += 1
+        if failures:
+            if args.update_baseline:
+                print("baselines NOT updated: fix the regression or rerun "
+                      "with --update-baseline alone to accept it")
+            print(f"perf check FAILED: {failures} scenario(s) regressed "
+                  f"against {args.check_baseline}")
+            return 1
+        print(f"perf check passed against {args.check_baseline}")
+    if args.update_baseline:
+        os.makedirs(args.update_baseline, exist_ok=True)
+        for payload in payloads:
+            path = baseline_path(args.update_baseline, payload["scenario"])
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"baseline updated: {path}")
+    return 0
 
 
 if __name__ == "__main__":

@@ -6,6 +6,19 @@ deterministic, collision-resistant fingerprint rather than the payload.  The
 helpers here turn arbitrary plain-data Python values into a canonical byte
 string first, so that logically equal values always hash to the same digest
 regardless of dict insertion order or container type.
+
+Memoisation
+-----------
+
+Canonical encoding dominated deployment profiles: the same frozen message is
+re-serialised every time it is signed, verified, batched or re-verified.
+Frozen dataclasses whose fields can never change may opt into **per-instance
+caching** with :func:`canonical_cacheable`; their canonical encoding and
+digest are then computed once and pinned on the instance, which every later
+encode (including as a field of an enclosing value) reuses.  The cache is
+invisible to callers — ``canonical_bytes(value, use_cache=False)`` forces the
+uncached path, and the property tests assert both paths agree on arbitrary
+messages.
 """
 
 from __future__ import annotations
@@ -16,8 +29,30 @@ from typing import Any
 
 DIGEST_SIZE = 32
 
+#: instance attributes the memoised paths pin on cacheable dataclasses.
+_CANONICAL_CACHE = "_repro_canonical_cache"
+_DIGEST_CACHE = "_repro_digest_cache"
 
-def canonical_bytes(value: Any) -> bytes:
+
+def canonical_cacheable(cls):
+    """Class decorator: opt a frozen dataclass into canonical-bytes caching.
+
+    Only for classes whose canonical encoding can never change: every field
+    reachable from the instance must be immutable (scalars, bytes, tuples,
+    further cacheable dataclasses).  A frozen dataclass holding a mutable
+    payload (e.g. an opaque state snapshot) must NOT be decorated.  The class
+    needs an instance ``__dict__`` — caching is how these classes trade the
+    ``__slots__`` footprint optimisation for encode-once behaviour.
+    """
+    if "__slots__" in cls.__dict__ and "__dict__" not in cls.__dict__["__slots__"]:
+        raise TypeError(
+            f"{cls.__name__} uses __slots__; canonical caching needs an "
+            "instance __dict__ to pin the encoding on")
+    cls.__canonical_cacheable__ = True
+    return cls
+
+
+def canonical_bytes(value: Any, use_cache: bool = True) -> bytes:
     """Encode ``value`` into a canonical byte string.
 
     Supports the plain-data types used throughout the library: ``None``,
@@ -25,62 +60,253 @@ def canonical_bytes(value: Any) -> bytes:
     lists/tuples/dicts/sets of those.  Dataclasses are encoded as their class
     name plus each field in declaration order; dicts and sets are encoded in
     sorted-key order so insertion order never leaks into digests.
+
+    ``use_cache=False`` bypasses (and does not populate) the per-instance
+    caches of :func:`canonical_cacheable` dataclasses.
     """
     out = bytearray()
-    _encode(value, out)
+    _encode(value, out, use_cache)
     return bytes(out)
 
 
-def _encode(value: Any, out: bytearray) -> None:
+def _encode(value: Any, out: bytearray, use_cache: bool = True) -> None:
+    # Exact-type dispatch: the isinstance chain this replaces was the single
+    # hottest code path of a deployment run.  Unseen types (every dataclass
+    # on first contact, rare subclasses) fall back to the chain, which
+    # registers a specialised handler so the next instance dispatches in one
+    # dict lookup.  Encodings are byte-identical to the chain's.
+    handler = _DISPATCH.get(type(value))
+    if handler is not None:
+        handler(value, out, use_cache)
+    else:
+        _encode_fallback(value, out, use_cache)
+
+
+def _encode_none(value: Any, out: bytearray, use_cache: bool) -> None:
+    out += b"N"
+
+
+def _encode_bool(value: Any, out: bytearray, use_cache: bool) -> None:
+    out += b"T" if value else b"F"
+
+
+def _encode_int(value: Any, out: bytearray, use_cache: bool) -> None:
+    encoded = str(value).encode()
+    out += b"i%d:" % len(encoded) + encoded
+
+
+def _encode_float(value: Any, out: bytearray, use_cache: bool) -> None:
+    encoded = repr(value).encode()
+    out += b"f%d:" % len(encoded) + encoded
+
+
+def _encode_str(value: Any, out: bytearray, use_cache: bool) -> None:
+    encoded = value.encode()
+    out += b"s%d:" % len(encoded) + encoded
+
+
+def _encode_bytes(value: Any, out: bytearray, use_cache: bool) -> None:
+    out += b"b%d:" % len(value) + bytes(value)
+
+
+def _sorted_members(values) -> list:
+    # All-string collections (the overwhelmingly common case: signed-part
+    # dict keys) sort on repr directly — same order as ``_sort_key``, whose
+    # first tuple element is constant when every type matches, without a
+    # Python-level key function.
+    members = list(values)
+    if all(type(member) is str for member in members):
+        members.sort(key=repr)
+    else:
+        members.sort(key=_sort_key)
+    return members
+
+
+#: encoded forms of recurring string dict keys (schema-level field names);
+#: capped so adversarial/data-driven keys cannot grow it without bound.
+_KEY_BYTES: dict[str, bytes] = {}
+_KEY_BYTES_MAX = 4096
+
+
+def _encode_dict(value: Any, out: bytearray, use_cache: bool) -> None:
+    out += b"M"
+    for key in _sorted_members(value):
+        if type(key) is str:
+            key_bytes = _KEY_BYTES.get(key)
+            if key_bytes is None:
+                encoded = key.encode()
+                key_bytes = b"s%d:" % len(encoded) + encoded
+                if len(_KEY_BYTES) < _KEY_BYTES_MAX:
+                    _KEY_BYTES[key] = key_bytes
+            out += key_bytes
+        else:
+            _encode(key, out, use_cache)
+        _encode(value[key], out, use_cache)
+    out += b"m"
+
+
+def _encode_sequence(value: Any, out: bytearray, use_cache: bool) -> None:
+    out += b"L"
+    for item in value:
+        _encode(item, out, use_cache)
+    out += b"l"
+
+
+def _encode_set(value: Any, out: bytearray, use_cache: bool) -> None:
+    out += b"S"
+    for item in _sorted_members(value):
+        _encode(item, out, use_cache)
+    out += b"s"
+
+
+def _encode_cacheable_dataclass(value: Any, out: bytearray,
+                                use_cache: bool) -> None:
+    if not use_cache:
+        _encode_dataclass(value, out, use_cache)
+        return
+    cached = value.__dict__.get(_CANONICAL_CACHE)
+    if cached is None:
+        sub = bytearray()
+        _encode_dataclass(value, sub, use_cache)
+        cached = bytes(sub)
+        object.__setattr__(value, _CANONICAL_CACHE, cached)
+    out += cached
+
+
+_DISPATCH: dict[type, Any] = {
+    type(None): _encode_none,
+    bool: _encode_bool,
+    int: _encode_int,
+    float: _encode_float,
+    str: _encode_str,
+    bytes: _encode_bytes,
+    dict: _encode_dict,
+    list: _encode_sequence,
+    tuple: _encode_sequence,
+    set: _encode_set,
+    frozenset: _encode_set,
+}
+
+
+def _encode_fallback(value: Any, out: bytearray, use_cache: bool) -> None:
+    """The original isinstance chain; registers a handler for exact types.
+
+    Keeps the chain's semantics for subclasses (a bool-before-int check, a
+    dataclass check ahead of the container checks) so exotic values encode
+    exactly as before dispatch specialisation existed.
+    """
+    cls = type(value)
     if value is None:
         out += b"N"
     elif isinstance(value, bool):
-        out += b"T" if value else b"F"
+        _encode_bool(value, out, use_cache)
+        _DISPATCH.setdefault(cls, _encode_bool)
     elif isinstance(value, int):
-        encoded = str(value).encode()
-        out += b"i%d:" % len(encoded) + encoded
+        _encode_int(value, out, use_cache)
+        _DISPATCH.setdefault(cls, _encode_int)
     elif isinstance(value, float):
-        encoded = repr(value).encode()
-        out += b"f%d:" % len(encoded) + encoded
+        _encode_float(value, out, use_cache)
+        _DISPATCH.setdefault(cls, _encode_float)
     elif isinstance(value, str):
-        encoded = value.encode()
-        out += b"s%d:" % len(encoded) + encoded
+        _encode_str(value, out, use_cache)
+        _DISPATCH.setdefault(cls, _encode_str)
     elif isinstance(value, (bytes, bytearray)):
-        out += b"b%d:" % len(value) + bytes(value)
+        _encode_bytes(value, out, use_cache)
+        if cls is bytearray:
+            # bytearray is mutable: encode per call, never specialise beyond
+            # the generic handler (which copies the current contents).
+            _DISPATCH.setdefault(cls, _encode_bytes)
     elif is_dataclass(value) and not isinstance(value, type):
-        name = type(value).__name__.encode()
-        out += b"D%d:" % len(name) + name
-        for f in fields(value):
-            _encode(f.name, out)
-            _encode(getattr(value, f.name), out)
-        out += b"d"
+        if getattr(cls, "__canonical_cacheable__", False):
+            _DISPATCH.setdefault(cls, _encode_cacheable_dataclass)
+            _encode_cacheable_dataclass(value, out, use_cache)
+        else:
+            _DISPATCH.setdefault(cls, _encode_dataclass)
+            _encode_dataclass(value, out, use_cache)
     elif isinstance(value, dict):
-        out += b"M"
-        for key in sorted(value, key=_sort_key):
-            _encode(key, out)
-            _encode(value[key], out)
-        out += b"m"
+        _encode_dict(value, out, use_cache)
     elif isinstance(value, (list, tuple)):
-        out += b"L"
-        for item in value:
-            _encode(item, out)
-        out += b"l"
+        _encode_sequence(value, out, use_cache)
     elif isinstance(value, (set, frozenset)):
-        out += b"S"
-        for item in sorted(value, key=_sort_key):
-            _encode(item, out)
-        out += b"s"
+        _encode_set(value, out, use_cache)
     else:
         raise TypeError(f"cannot canonically encode values of type {type(value)!r}")
+
+
+#: per-class encoding template: the class-name header plus, per field in
+#: declaration order, the pre-encoded field-name bytes and the attribute to
+#: fetch.  Field names and declaration order are static per class, so
+#: encoding them (and calling ``dataclasses.fields``) once per class instead
+#: of once per instance produces identical bytes for a fraction of the work.
+_CLASS_TEMPLATES: dict[type, tuple[bytes, tuple[tuple[bytes, str], ...]]] = {}
+
+
+def _class_template(cls: type) -> tuple[bytes, tuple[tuple[bytes, str], ...]]:
+    template = _CLASS_TEMPLATES.get(cls)
+    if template is None:
+        name = cls.__name__.encode()
+        header = b"D%d:" % len(name) + name
+        encoded_fields = []
+        for f in fields(cls):
+            field_name = f.name.encode()
+            encoded_fields.append((b"s%d:" % len(field_name) + field_name,
+                                   f.name))
+        template = (header, tuple(encoded_fields))
+        _CLASS_TEMPLATES[cls] = template
+    return template
+
+
+def _encode_dataclass(value: Any, out: bytearray, use_cache: bool) -> None:
+    header, encoded_fields = _class_template(type(value))
+    out += header
+    for name_bytes, attr in encoded_fields:
+        out += name_bytes
+        _encode(getattr(value, attr), out, use_cache)
+    out += b"d"
+
+
+def pinned(instance: Any, attr: str, compute) -> Any:
+    """Get-or-compute a value pinned on an instance's ``__dict__``.
+
+    The one memoisation idiom behind every per-instance cache in the
+    library (canonical encodings, payload/batch digests, signed-part
+    bytes): read via ``__dict__`` so a missing cache is a plain miss, write
+    via ``object.__setattr__`` so frozen dataclasses accept the pin.  Only
+    for values that are pure functions of fields that can never change —
+    and if the cached value covers a field some cloning path rewrites, that
+    path must drop it (see :func:`drop_whole_value_caches`).
+    """
+    cached = instance.__dict__.get(attr)
+    if cached is None:
+        cached = compute()
+        object.__setattr__(instance, attr, cached)
+    return cached
+
+
+def drop_whole_value_caches(state: dict) -> None:
+    """Remove whole-value encoding caches from a copied instance ``__dict__``.
+
+    For code that clones a cacheable frozen dataclass by copying its
+    ``__dict__`` and changing a field: the canonical-bytes/digest caches
+    cover *every* field and would be stale on the clone, while caches that
+    explicitly exclude the changed field (a message's signed-part bytes, a
+    request's payload digest) remain valid and are deliberately kept.
+    """
+    state.pop(_CANONICAL_CACHE, None)
+    state.pop(_DIGEST_CACHE, None)
 
 
 def _sort_key(value: Any) -> tuple[str, str]:
     return (type(value).__name__, repr(value))
 
 
-def digest(value: Any) -> bytes:
+def digest(value: Any, use_cache: bool = True) -> bytes:
     """SHA-256 digest of the canonical encoding of ``value``."""
-    return hashlib.sha256(canonical_bytes(value)).digest()
+    if use_cache and getattr(value, "__canonical_cacheable__", False) \
+            and is_dataclass(value) and not isinstance(value, type):
+        return pinned(value, _DIGEST_CACHE,
+                      lambda: hashlib.sha256(canonical_bytes(value)).digest())
+    return hashlib.sha256(canonical_bytes(value, use_cache)).digest()
 
 
 def digest_hex(value: Any) -> str:

@@ -11,9 +11,12 @@ assumption of Section 2 is enforced in the simulation.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Iterable
 
-from ..common.errors import UnknownKey
+from ..common.errors import InvalidSignature, UnknownKey
+from .digest import canonical_bytes
 from .signatures import Mac, MacKey, Signature, SigningKey, verify_with_key
 
 
@@ -22,13 +25,33 @@ def _derive(seed: int, *parts: str) -> bytes:
     return hashlib.sha256(material).digest()
 
 
-class KeyStore:
-    """Holds every secret in the deployment and verifies on behalf of all."""
+@dataclass(slots=True)
+class KeyStoreStats:
+    """Verification-cache effectiveness counters."""
 
-    def __init__(self, seed: int = 0) -> None:
+    verify_cache_hits: int = 0
+    verify_cache_misses: int = 0
+
+
+class KeyStore:
+    """Holds every secret in the deployment and verifies on behalf of all.
+
+    Verification is memoised: a deployment-wide store sees the same
+    ``(message, signature)`` pair once per receiving replica — an attestation
+    travelling in a Preprepare is re-verified ``n - 1`` times — so outcomes
+    are cached on the canonical encoding.  The cache is bounded LRU and
+    caches *both* outcomes (a forged signature stays invalid on every
+    lookup).  Simulated verification CPU cost is charged by the replica
+    runtime regardless; the cache only removes redundant real-world work.
+    """
+
+    def __init__(self, seed: int = 0, verify_cache_size: int = 8192) -> None:
         self._seed = seed
         self._signing: dict[str, SigningKey] = {}
         self._macs: dict[tuple[str, str], MacKey] = {}
+        self._verify_cache: OrderedDict[tuple[str, bytes, bytes], bool] = OrderedDict()
+        self._verify_cache_size = verify_cache_size
+        self.stats = KeyStoreStats()
 
     # ------------------------------------------------------------------ setup
     def register(self, identity: str) -> SigningKey:
@@ -60,14 +83,56 @@ class KeyStore:
         return self.signing_key(identity).sign(message)
 
     def verify(self, message: Any, signature: Signature) -> None:
-        """Verify a signature; raises on unknown signer or mismatch."""
+        """Verify a signature; raises on unknown signer or mismatch.
+
+        Outcomes are memoised on ``(signer, canonical encoding, signature
+        value)``; see the class docstring.
+        """
+        self.verify_encoded(canonical_bytes(message), signature)
+
+    def verify_encoded(self, encoded: bytes, signature: Signature) -> None:
+        """Verify a signature over an already canonically encoded message.
+
+        The fast path for callers holding a memoised encoding (see
+        :func:`repro.protocols.messages.signed_part_bytes`); semantics are
+        identical to :meth:`verify`.
+        """
         key = self.signing_key(signature.signer)
-        verify_with_key(key, message, signature)
+        cache_key = (signature.signer, encoded, signature.value)
+        cached = self._verify_cache.get(cache_key)
+        if cached is not None:
+            self._verify_cache.move_to_end(cache_key)
+            self.stats.verify_cache_hits += 1
+            if not cached:
+                raise InvalidSignature(
+                    f"signature by {signature.signer!r} does not verify")
+            return
+        self.stats.verify_cache_misses += 1
+        try:
+            verify_with_key(key, None, signature, encoded=encoded)
+        except InvalidSignature:
+            self._remember_verification(cache_key, False)
+            raise
+        self._remember_verification(cache_key, True)
+
+    def _remember_verification(self, cache_key: tuple[str, bytes, bytes],
+                               outcome: bool) -> None:
+        self._verify_cache[cache_key] = outcome
+        if len(self._verify_cache) > self._verify_cache_size:
+            self._verify_cache.popitem(last=False)
 
     def is_valid(self, message: Any, signature: Signature) -> bool:
         """Boolean form of :meth:`verify` for callers that prefer not to raise."""
         try:
             self.verify(message, signature)
+        except Exception:
+            return False
+        return True
+
+    def is_valid_encoded(self, encoded: bytes, signature: Signature) -> bool:
+        """Boolean form of :meth:`verify_encoded`."""
+        try:
+            self.verify_encoded(encoded, signature)
         except Exception:
             return False
         return True
@@ -111,8 +176,14 @@ class KeyStoreVerifier:
     def verify(self, message: Any, signature: Signature) -> None:
         self._store.verify(message, signature)
 
+    def verify_encoded(self, encoded: bytes, signature: Signature) -> None:
+        self._store.verify_encoded(encoded, signature)
+
     def is_valid(self, message: Any, signature: Signature) -> bool:
         return self._store.is_valid(message, signature)
+
+    def is_valid_encoded(self, encoded: bytes, signature: Signature) -> bool:
+        return self._store.is_valid_encoded(encoded, signature)
 
     def verify_mac(self, message: Any, mac: Mac) -> None:
         self._store.verify_mac(message, mac)

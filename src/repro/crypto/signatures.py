@@ -27,12 +27,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..common.errors import InvalidMac, InvalidSignature
-from .digest import canonical_bytes
+from .digest import canonical_bytes, canonical_cacheable
 
 _SIG_TAG = b"repro-ds-v1"
 _MAC_TAG = b"repro-mac-v1"
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class Signature:
     """A digital signature: the signer's identity plus the HMAC value."""
@@ -54,22 +55,36 @@ class Mac:
 
 
 class SigningKey:
-    """Secret signing key for one identity."""
+    """Secret signing key for one identity.
+
+    The keyed HMAC state over ``secret || tag`` is precomputed once and
+    copied per operation — ``HMAC.copy()`` skips re-deriving the key pads on
+    every one of the thousands of signatures a run produces.  The resulting
+    MAC values are identical to ``hmac.new(secret, tag + message)``.
+    """
 
     def __init__(self, identity: str, secret: bytes) -> None:
         self.identity = identity
         self._secret = secret
+        self._template = hmac.new(secret, _SIG_TAG, hashlib.sha256)
 
     def sign(self, message: Any) -> Signature:
         """Sign the canonical encoding of ``message``."""
-        value = hmac.new(self._secret, _SIG_TAG + canonical_bytes(message),
-                         hashlib.sha256).digest()
-        return Signature(signer=self.identity, value=value)
+        return self.sign_bytes(canonical_bytes(message))
+
+    def sign_bytes(self, encoded: bytes) -> Signature:
+        """Sign an already canonically encoded message."""
+        state = self._template.copy()
+        state.update(encoded)
+        return Signature(signer=self.identity, value=state.digest())
 
     def _verify(self, message: Any, signature: Signature) -> bool:
-        expected = hmac.new(self._secret, _SIG_TAG + canonical_bytes(message),
-                            hashlib.sha256).digest()
-        return hmac.compare_digest(expected, signature.value)
+        return self._verify_bytes(canonical_bytes(message), signature)
+
+    def _verify_bytes(self, encoded: bytes, signature: Signature) -> bool:
+        state = self._template.copy()
+        state.update(encoded)
+        return hmac.compare_digest(state.digest(), signature.value)
 
 
 class MacKey:
@@ -79,27 +94,32 @@ class MacKey:
         self.sender = sender
         self.receiver = receiver
         self._secret = secret
+        self._template = hmac.new(secret, _MAC_TAG, hashlib.sha256)
 
     def generate(self, message: Any) -> Mac:
         """Authenticate ``message`` from ``sender`` to ``receiver``."""
-        value = hmac.new(self._secret, _MAC_TAG + canonical_bytes(message),
-                         hashlib.sha256).digest()
-        return Mac(sender=self.sender, receiver=self.receiver, value=value)
+        state = self._template.copy()
+        state.update(canonical_bytes(message))
+        return Mac(sender=self.sender, receiver=self.receiver,
+                   value=state.digest())
 
     def verify(self, message: Any, mac: Mac) -> None:
         """Raise :class:`InvalidMac` unless ``mac`` authenticates ``message``."""
-        expected = hmac.new(self._secret, _MAC_TAG + canonical_bytes(message),
-                            hashlib.sha256).digest()
-        if not hmac.compare_digest(expected, mac.value):
+        state = self._template.copy()
+        state.update(canonical_bytes(message))
+        if not hmac.compare_digest(state.digest(), mac.value):
             raise InvalidMac(
                 f"MAC from {mac.sender} to {mac.receiver} failed verification")
 
 
-def verify_with_key(key: SigningKey, message: Any, signature: Signature) -> None:
+def verify_with_key(key: SigningKey, message: Any, signature: Signature,
+                    encoded: bytes | None = None) -> None:
     """Verify ``signature`` over ``message`` using the signer's key material.
 
     Raises :class:`InvalidSignature` on mismatch (wrong signer or altered
-    message).  Library code should normally call
+    message).  ``encoded`` lets callers that already canonically encoded the
+    message (the key store's verification cache) skip re-serialising it.
+    Library code should normally call
     :meth:`repro.crypto.keystore.KeyStore.verify` instead; this low-level
     helper exists for the key store and for tests.
     """
@@ -107,5 +127,7 @@ def verify_with_key(key: SigningKey, message: Any, signature: Signature) -> None
         raise InvalidSignature(
             f"signature claims signer {signature.signer!r} but key belongs to "
             f"{key.identity!r}")
-    if not key._verify(message, signature):
+    if encoded is None:
+        encoded = canonical_bytes(message)
+    if not key._verify_bytes(encoded, signature):
         raise InvalidSignature(f"signature by {signature.signer!r} does not verify")

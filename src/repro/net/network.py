@@ -20,7 +20,7 @@ from ..sim.rng import RngRegistry
 from .topology import Topology
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """A message in flight: payload plus addressing metadata."""
 
@@ -74,7 +74,7 @@ class MessageRule:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate transport statistics."""
 
@@ -128,20 +128,22 @@ class Network:
         removed from the network, for example).
         """
         now = self._sim.now
-        departure = max(now, earliest_departure or now)
-        self.stats.messages_sent += 1
-        self.stats.record_type(payload)
+        departure = now if earliest_departure is None else max(now, earliest_departure)
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.record_type(payload)
 
         extra_delay = 0.0
-        for rule in self._rules:
-            if rule.applies(source, destination, payload, departure):
-                rule.hits += 1
-                if rule.drop:
-                    self.stats.messages_dropped += 1
-                    return
-                extra_delay += rule.extra_delay_us
-        if extra_delay > 0:
-            self.stats.messages_delayed += 1
+        if self._rules:
+            for rule in self._rules:
+                if rule.applies(source, destination, payload, departure):
+                    rule.hits += 1
+                    if rule.drop:
+                        stats.messages_dropped += 1
+                        return
+                    extra_delay += rule.extra_delay_us
+            if extra_delay > 0:
+                stats.messages_delayed += 1
 
         latency = self._topology.latency_us(source, destination) + self._wire_us
         if self._jitter_fraction > 0:

@@ -1,0 +1,61 @@
+"""Performance harness: named benchmark scenarios, machine-readable results,
+and baseline regression checking.
+
+The paper's headline claim is quantitative — FlexiTrust protocols outperform
+their sequential trusted-counter counterparts — so the reproduction needs a
+first-class measurement layer: something that runs named scenarios (figure
+experiments and microbenchmarks of the simulation substrate), records
+wall-clock seconds alongside the simulated metrics, emits
+``BENCH_<scenario>.json`` files, and *gates* changes that make the simulator
+slower via committed baselines with per-metric tolerances.
+
+Entry points:
+
+* ``python -m repro perf --scenarios smoke`` — run the smoke suite and write
+  one ``BENCH_<scenario>.json`` per scenario.
+* ``python -m repro perf --scenarios fig1 --scale medium`` — one scenario at
+  an explicit scale.
+* ``--check-baseline benchmarks/baselines/`` — compare fresh results against
+  committed baselines and exit non-zero on regression (the CI gate).
+* ``--update-baseline benchmarks/baselines/`` — refresh the committed
+  baselines after an intentional performance or determinism change.
+"""
+
+from .baseline import (
+    DEFAULT_TOLERANCES,
+    BaselineComparison,
+    MetricCheck,
+    Tolerance,
+    baseline_path,
+    compare_result,
+    format_comparison,
+    load_baseline,
+)
+from .runner import (
+    ScenarioResult,
+    calibrate,
+    result_payload,
+    run_scenario,
+    write_bench_json,
+)
+from .scenarios import PERF_SCALES, SCENARIOS, SUITES, PerfScale
+
+__all__ = [
+    "DEFAULT_TOLERANCES",
+    "BaselineComparison",
+    "MetricCheck",
+    "Tolerance",
+    "baseline_path",
+    "compare_result",
+    "format_comparison",
+    "load_baseline",
+    "ScenarioResult",
+    "calibrate",
+    "result_payload",
+    "run_scenario",
+    "write_bench_json",
+    "PERF_SCALES",
+    "SCENARIOS",
+    "SUITES",
+    "PerfScale",
+]

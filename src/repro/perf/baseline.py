@@ -1,0 +1,211 @@
+"""Baseline comparison with per-metric tolerances.
+
+A committed baseline is the ``BENCH_<scenario>.json`` of a known-good run.
+Fresh results are compared against it along two axes:
+
+* **Speed** — tolerant thresholds on machine-normalised wall-clock (and,
+  informationally, raw events/sec).  Only regressions beyond the tolerance
+  fail; noise and small slowdowns pass.
+* **Determinism** — the ``metrics_digest`` over the scenario's simulated rows
+  must match exactly.  An optimisation is only an optimisation if the
+  simulated results are byte-identical; a digest mismatch means behaviour
+  changed and the baseline must be refreshed deliberately
+  (``python -m repro perf --update-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+# comparison statuses
+OK = "ok"
+IMPROVED = "improved"
+REGRESSION = "regression"
+MISSING_BASELINE = "missing-baseline"
+DIGEST_MISMATCH = "digest-mismatch"
+#: the baseline cannot gate this result (schema drift, scale mismatch, or no
+#: gated metric present on both sides) — a failure, not a silent pass: a
+#: baseline that compares nothing protects nothing.
+INCOMPARABLE = "incomparable"
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed regression for one metric.
+
+    ``max_regression`` is fractional: ``0.25`` fails only when the metric is
+    more than 25% worse than the baseline (slower wall-clock, fewer
+    events/sec).  ``gate=False`` metrics are reported but never fail the
+    comparison — useful for noisy, machine-dependent numbers.
+    """
+
+    metric: str
+    higher_is_better: bool
+    max_regression: float
+    gate: bool = True
+
+
+#: wall-clock gates on the calibration-normalised value (25%, per the CI
+#: policy); raw events/sec is reported with a generous, non-gating threshold
+#: because it is not normalised for machine speed.
+DEFAULT_TOLERANCES: tuple[Tolerance, ...] = (
+    Tolerance("normalized_wall", higher_is_better=False, max_regression=0.25),
+    Tolerance("events_per_sec", higher_is_better=True, max_regression=0.50,
+              gate=False),
+)
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """Outcome of one metric's baseline comparison."""
+
+    metric: str
+    baseline_value: float
+    current_value: float
+    #: fractional change in the *worse* direction (negative = improved).
+    regression: float
+    status: str
+    gate: bool
+
+    @property
+    def failed(self) -> bool:
+        return self.gate and self.status == REGRESSION
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Outcome of comparing one fresh result against its baseline."""
+
+    scenario: str
+    status: str
+    checks: tuple[MetricCheck, ...] = ()
+    notes: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (OK, IMPROVED)
+
+
+def baseline_path(baseline_dir: str, scenario: str) -> str:
+    """Where the committed baseline for ``scenario`` lives."""
+    return os.path.join(baseline_dir, f"BENCH_{scenario}.json")
+
+
+def load_baseline(path: str) -> Optional[dict]:
+    """Load one baseline JSON; ``None`` when the file does not exist."""
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _check_metric(tolerance: Tolerance, baseline: dict,
+                  current: dict) -> Optional[MetricCheck]:
+    baseline_value = baseline.get(tolerance.metric)
+    current_value = current.get(tolerance.metric)
+    if not isinstance(baseline_value, (int, float)) or \
+            not isinstance(current_value, (int, float)):
+        return None
+    if baseline_value <= 0:
+        return None  # nothing meaningful to compare against
+    change = (current_value - baseline_value) / baseline_value
+    regression = -change if tolerance.higher_is_better else change
+    if regression > tolerance.max_regression:
+        status = REGRESSION
+    elif regression < 0:
+        status = IMPROVED
+    else:
+        status = OK
+    return MetricCheck(
+        metric=tolerance.metric, baseline_value=float(baseline_value),
+        current_value=float(current_value), regression=regression,
+        status=status, gate=tolerance.gate)
+
+
+def compare_result(current: dict, baseline: Optional[dict],
+                   tolerances: Iterable[Tolerance] = DEFAULT_TOLERANCES
+                   ) -> BaselineComparison:
+    """Compare one fresh result payload against its baseline payload.
+
+    Both arguments are ``BENCH_*.json`` payload dictionaries (see
+    :func:`repro.perf.runner.result_payload`); ``baseline`` is ``None`` when
+    no baseline is committed, which is itself a failure — a gated scenario
+    without a baseline gates nothing.
+    """
+    scenario = str(current.get("scenario", "?"))
+    if baseline is None:
+        return BaselineComparison(
+            scenario=scenario, status=MISSING_BASELINE,
+            notes=(f"no committed baseline for scenario {scenario!r}; "
+                   "record one with --update-baseline",))
+    notes: list[str] = []
+    if baseline.get("schema_version") != current.get("schema_version"):
+        notes.append(
+            f"schema mismatch: baseline v{baseline.get('schema_version')!r} "
+            f"vs current v{current.get('schema_version')!r}; refresh the "
+            "baselines with --update-baseline")
+        return BaselineComparison(scenario=scenario, status=INCOMPARABLE,
+                                  notes=tuple(notes))
+    if baseline.get("scale") != current.get("scale"):
+        notes.append(
+            f"scale mismatch: baseline {baseline.get('scale')!r} vs "
+            f"current {current.get('scale')!r}")
+        return BaselineComparison(scenario=scenario, status=INCOMPARABLE,
+                                  notes=tuple(notes))
+    baseline_digest = baseline.get("metrics_digest")
+    current_digest = current.get("metrics_digest")
+    if baseline_digest and current_digest and baseline_digest != current_digest:
+        notes.append(
+            "simulated results differ from the baseline "
+            f"({str(baseline_digest)[:12]} != {str(current_digest)[:12]}): "
+            "determinism changed; refresh baselines if intentional")
+        return BaselineComparison(scenario=scenario, status=DIGEST_MISMATCH,
+                                  notes=tuple(notes))
+    checks = tuple(check for tolerance in tolerances
+                   if (check := _check_metric(tolerance, baseline, current)))
+    gated = [check for check in checks if check.gate]
+    if not gated:
+        return BaselineComparison(
+            scenario=scenario, status=INCOMPARABLE, checks=checks,
+            notes=("no gated metric is present in both the baseline and the "
+                   "fresh result; the baseline gates nothing — refresh it "
+                   "with --update-baseline",))
+    if any(check.failed for check in checks):
+        status = REGRESSION
+    elif any(check.status == IMPROVED for check in gated):
+        status = IMPROVED
+    else:
+        status = OK
+    return BaselineComparison(scenario=scenario, status=status, checks=checks)
+
+
+def compare_to_dir(results: Iterable[dict], baseline_dir: str,
+                   tolerances: Iterable[Tolerance] = DEFAULT_TOLERANCES
+                   ) -> list[BaselineComparison]:
+    """Compare many fresh result payloads against a baseline directory."""
+    tolerances = tuple(tolerances)
+    return [
+        compare_result(
+            current,
+            load_baseline(baseline_path(baseline_dir,
+                                        str(current.get("scenario", "?")))),
+            tolerances)
+        for current in results
+    ]
+
+
+def format_comparison(comparison: BaselineComparison) -> str:
+    """Multi-line human-readable report for one comparison."""
+    lines = [f"[{comparison.status.upper():>16}] {comparison.scenario}"]
+    for check in comparison.checks:
+        marker = "FAIL" if check.failed else check.status
+        lines.append(
+            f"    {check.metric:<18} baseline={check.baseline_value:>12.4f}  "
+            f"current={check.current_value:>12.4f}  "
+            f"improvement={100.0 * -check.regression:+7.1f}%  [{marker}]")
+    for note in comparison.notes:
+        lines.append(f"    note: {note}")
+    return "\n".join(lines)

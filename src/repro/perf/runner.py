@@ -1,0 +1,198 @@
+"""Benchmark runner: execute scenarios, time them, emit ``BENCH_*.json``.
+
+Wall-clock seconds are meaningless across machines, so every run also times a
+fixed **calibration workload** (hashing plus event-loop churn) and records the
+scenario's wall-clock normalised by it.  Committed baselines compare on the
+normalised value, which makes a laptop-recorded baseline usable on a CI
+runner of a different speed class.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import time
+from dataclasses import dataclass, field
+
+from .scenarios import (
+    PERF_SCALES,
+    SCENARIOS,
+    metrics_digest,
+    peak_throughput,
+    total_events,
+)
+
+#: bump when the BENCH_*.json layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: sizes of the fixed calibration workload (never scale with the scenario).
+_CALIBRATION_HASHES = 40_000
+_CALIBRATION_EVENTS = 30_000
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measurements: wall-clock plus simulated metrics."""
+
+    scenario: str
+    scale: str
+    wall_seconds: float
+    calibration_seconds: float
+    events: int
+    rows: list[dict] = field(default_factory=list)
+    metrics_digest: str = ""
+
+    @property
+    def events_per_sec(self) -> float:
+        """Kernel events executed per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+    @property
+    def normalized_wall(self) -> float:
+        """Wall-clock divided by the machine-speed calibration."""
+        if self.calibration_seconds <= 0:
+            return self.wall_seconds
+        return self.wall_seconds / self.calibration_seconds
+
+    @property
+    def peak_throughput_tx_s(self) -> float:
+        """Best simulated throughput across the scenario's rows."""
+        return peak_throughput(self.rows)
+
+
+#: calibration probes per invocation; the minimum wins.  Every scenario's
+#: gated ``normalized_wall`` divides by this one number, so it uses the same
+#: robust min-of-N estimator as the scenario wall-clocks — one noisy ~50ms
+#: sample must not shift the whole suite past (or through) the 25% gate.
+_CALIBRATION_PROBES = 3
+
+
+def calibrate() -> float:
+    """Time the fixed machine-speed probe (seconds, min of several runs).
+
+    The probe mixes the two things scenario wall-clock is made of — hashing
+    (the crypto layer) and event-loop churn (the kernel) — and takes tens of
+    milliseconds, so running it a few times per ``perf`` invocation is free.
+    """
+    return min(_calibration_probe() for _ in range(_CALIBRATION_PROBES))
+
+
+def _calibration_probe() -> float:
+    from ..sim.kernel import Simulator
+
+    start = time.perf_counter()
+    payload = b"calibration" * 8
+    for _ in range(_CALIBRATION_HASHES):
+        payload = hashlib.sha256(payload).digest()
+    sim = Simulator()
+    remaining = _CALIBRATION_EVENTS
+
+    def chain() -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run_until_idle()
+    return max(time.perf_counter() - start, 1e-9)
+
+
+#: scenarios faster than this are re-run (up to ``_MAX_REPEATS``) and the
+#: minimum wall-clock is reported — min-of-N is the standard robust estimator
+#: and keeps sub-100ms scenarios from tripping a 25% gate on scheduler noise.
+_REPEAT_BELOW_SECONDS = 0.75
+_MAX_REPEATS = 3
+
+
+def run_scenario(name: str, scale_name: str,
+                 calibration_seconds: float | None = None) -> ScenarioResult:
+    """Run one named scenario at one scale and collect its measurements.
+
+    Fast scenarios run up to three times (minimum wall-clock wins); every
+    repeat must reproduce the first run's row digest, so repeats double as a
+    free determinism check.
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; "
+                       f"available: {', '.join(sorted(SCENARIOS))}") from None
+    try:
+        scale = PERF_SCALES[scale_name]
+    except KeyError:
+        raise KeyError(f"unknown scale {scale_name!r}; "
+                       f"available: {', '.join(sorted(PERF_SCALES))}") from None
+    if calibration_seconds is None:
+        calibration_seconds = calibrate()
+    start = time.perf_counter()
+    rows = scenario(scale)
+    wall_seconds = time.perf_counter() - start
+    rows_digest = metrics_digest(rows)
+    runs = 1
+    while wall_seconds < _REPEAT_BELOW_SECONDS and runs < _MAX_REPEATS:
+        start = time.perf_counter()
+        repeat_rows = scenario(scale)
+        wall_seconds = min(wall_seconds, time.perf_counter() - start)
+        runs += 1
+        if metrics_digest(repeat_rows) != rows_digest:
+            raise RuntimeError(
+                f"scenario {name!r} is non-deterministic: repeat produced "
+                "different simulated rows")
+    return ScenarioResult(
+        scenario=name, scale=scale.name,
+        wall_seconds=wall_seconds,
+        calibration_seconds=calibration_seconds,
+        events=total_events(rows), rows=rows,
+        metrics_digest=rows_digest)
+
+
+def result_payload(result: ScenarioResult) -> dict:
+    """JSON-serialisable form of a :class:`ScenarioResult`."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenario": result.scenario,
+        "scale": result.scale,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "calibration_seconds": round(result.calibration_seconds, 4),
+        "normalized_wall": round(result.normalized_wall, 4),
+        "events": result.events,
+        "events_per_sec": round(result.events_per_sec, 1),
+        "peak_throughput_tx_s": round(result.peak_throughput_tx_s, 1),
+        "metrics_digest": result.metrics_digest,
+        "rows": result.rows,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+    }
+
+
+def write_bench_json(result: ScenarioResult, out_dir: str = ".") -> str:
+    """Write ``BENCH_<scenario>.json`` into ``out_dir``; returns the path."""
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{result.scenario}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_payload(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_result(result: ScenarioResult) -> str:
+    """One human-readable summary line per scenario."""
+    parts = [
+        f"{result.scenario:<18} scale={result.scale:<7}",
+        f"wall={result.wall_seconds:7.3f}s",
+        f"norm={result.normalized_wall:7.2f}",
+        f"events={result.events:>9}",
+        f"ev/s={result.events_per_sec:>11.0f}",
+    ]
+    if result.peak_throughput_tx_s > 0:
+        parts.append(f"peak_tput={result.peak_throughput_tx_s:>9.1f} tx/s")
+    parts.append(f"digest={result.metrics_digest[:12]}")
+    return "  ".join(parts)

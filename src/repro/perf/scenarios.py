@@ -1,0 +1,346 @@
+"""Named performance scenarios.
+
+Two families share one registry:
+
+* **Figure scenarios** drive full deployments through the public experiment
+  machinery: ``fig1`` is the headline head-to-head throughput comparison
+  (sequential trusted-counter protocols versus their FlexiTrust
+  transformations, with Pbft as the untrusted baseline), ``recovery`` is the
+  crash → restart → state-transfer experiment, ``sharding_scaleout`` the
+  multi-group scale-out experiment.
+* **Microbenchmarks** isolate one substrate layer each — the simulation
+  kernel (``kernel``), the message transport (``network``) and the
+  serialisation/crypto layer (``crypto``) — so a regression can be attributed
+  before bisecting a full deployment run.
+
+Every scenario is a function ``(PerfScale) -> list[dict]`` returning flat row
+dictionaries of *simulated* results only (no wall-clock values), so the rows
+can be digested for determinism checking: two runs of the same code must
+produce byte-identical row digests, and an optimisation that changes them has
+changed simulated behaviour, not just speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..common.config import SGX_ENCLAVE_COUNTER
+from ..common.types import RequestId
+from ..crypto.digest import combine_digests, digest
+from ..crypto.keystore import KeyStore
+from ..execution.state_machine import Operation
+from ..net.network import Envelope, Network
+from ..net.topology import build_topology
+from ..protocols.messages import ClientRequest, RequestBatch
+from ..runtime.experiments import (
+    ExperimentScale,
+    build_config,
+    build_sharded_config,
+    figure_recovery,
+    run_point,
+    run_sharded_point,
+)
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class RecoveryParams:
+    """Sizing of the ``recovery`` scenario's fault timeline.
+
+    Recovery runs a fixed span of simulated time under full load, so its
+    wall-clock cost is dominated by ``num_clients × end_s``; the smoke scale
+    shrinks both so the scenario fits a CI gate.
+    """
+
+    num_clients: int
+    crash_s: float
+    restart_s: float
+    end_s: float
+    #: sweep both trusted-hardware persistence levels (doubles the points).
+    both_hardware_levels: bool = True
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """Size knobs for one performance-scenario run."""
+
+    name: str
+    #: deployment sizing for the figure scenarios.
+    experiment: ExperimentScale
+    #: operation count for the substrate microbenchmarks.
+    micro_ops: int
+    #: shard counts swept by ``sharding_scaleout``.
+    shard_counts: tuple[int, ...]
+    #: protocols compared head-to-head by ``fig1``.
+    fig1_protocols: tuple[str, ...]
+    #: protocols crashed and recovered by ``recovery``.
+    recovery_protocols: tuple[str, ...]
+    #: fault-timeline sizing of the ``recovery`` scenario.
+    recovery: RecoveryParams
+
+
+_SMOKE_EXPERIMENT = ExperimentScale(
+    name="perf-smoke", f=1, num_clients=40, batch_size=10,
+    warmup_batches=2, measured_batches=6, worker_threads=8,
+    max_sim_seconds=20.0)
+
+_MEDIUM_EXPERIMENT = ExperimentScale(
+    name="perf-medium", f=2, num_clients=240, batch_size=20,
+    warmup_batches=3, measured_batches=12, worker_threads=8,
+    max_sim_seconds=40.0)
+
+_LARGE_EXPERIMENT = ExperimentScale(
+    name="perf-large", f=3, num_clients=480, batch_size=40,
+    warmup_batches=4, measured_batches=16, worker_threads=16,
+    max_sim_seconds=60.0)
+
+PERF_SCALES: dict[str, PerfScale] = {
+    "smoke": PerfScale(
+        name="smoke", experiment=_SMOKE_EXPERIMENT, micro_ops=20_000,
+        shard_counts=(1, 2), fig1_protocols=("minbft", "flexi-bft"),
+        recovery_protocols=("minbft", "flexi-bft"),
+        recovery=RecoveryParams(num_clients=12, crash_s=0.2, restart_s=0.35,
+                                end_s=0.7, both_hardware_levels=False)),
+    "medium": PerfScale(
+        name="medium", experiment=_MEDIUM_EXPERIMENT, micro_ops=100_000,
+        shard_counts=(1, 2, 4),
+        fig1_protocols=("pbft", "minbft", "minzz", "flexi-bft", "flexi-zz"),
+        recovery_protocols=("minbft", "flexi-bft"),
+        recovery=RecoveryParams(num_clients=32, crash_s=0.4, restart_s=0.7,
+                                end_s=1.3)),
+    "large": PerfScale(
+        name="large", experiment=_LARGE_EXPERIMENT, micro_ops=200_000,
+        shard_counts=(1, 2, 4),
+        fig1_protocols=("pbft", "minbft", "minzz", "flexi-bft", "flexi-zz"),
+        recovery_protocols=("minbft", "minzz", "flexi-bft", "flexi-zz"),
+        recovery=RecoveryParams(num_clients=40, crash_s=0.8, restart_s=1.4,
+                                end_s=2.6)),
+    "wan": PerfScale(
+        name="wan",
+        experiment=_MEDIUM_EXPERIMENT,
+        micro_ops=100_000, shard_counts=(1, 2),
+        fig1_protocols=("minbft", "flexi-bft", "flexi-zz"),
+        recovery_protocols=("minbft", "flexi-bft"),
+        recovery=RecoveryParams(num_clients=24, crash_s=0.4, restart_s=0.7,
+                                end_s=1.3, both_hardware_levels=False)),
+}
+
+#: regions used by the ``wan`` scale's figure scenarios (paper order).
+_WAN_REGIONS = ("san-jose", "ashburn", "sydney", "sao-paulo")
+
+
+def _fig1_regions(scale: PerfScale) -> tuple[str, ...]:
+    return _WAN_REGIONS if scale.name == "wan" else ("san-jose",)
+
+
+# ---------------------------------------------------------------------------
+# figure scenarios
+# ---------------------------------------------------------------------------
+def scenario_fig1(scale: PerfScale) -> list[dict]:
+    """Headline comparison: trust-bft protocols vs their FlexiTrust versions."""
+    rows = []
+    for protocol in scale.fig1_protocols:
+        config = build_config(protocol, scale.experiment,
+                              regions=_fig1_regions(scale))
+        result = run_point(config)
+        row = {"protocol": protocol}
+        row.update(result.as_row())
+        rows.append(row)
+    return rows
+
+
+def scenario_recovery(scale: PerfScale) -> list[dict]:
+    """Crash → restart → state transfer for one replica, per protocol."""
+    params = scale.recovery
+    experiment = replace(scale.experiment, num_clients=params.num_clients)
+    hardware_levels = None if params.both_hardware_levels else (
+        SGX_ENCLAVE_COUNTER,)
+    return figure_recovery(
+        experiment, protocols=scale.recovery_protocols,
+        hardware_levels=hardware_levels,
+        crash_s=params.crash_s, restart_s=params.restart_s,
+        end_s=params.end_s)
+
+
+def scenario_sharding_scaleout(scale: PerfScale) -> list[dict]:
+    """Aggregate throughput as the number of consensus groups grows."""
+    rows = []
+    for protocol in ("minbft", "flexi-bft"):
+        for num_shards in scale.shard_counts:
+            config = build_sharded_config(protocol, scale.experiment,
+                                          num_shards=num_shards)
+            result = run_sharded_point(config)
+            row = {"protocol": protocol}
+            row.update(result.as_row())
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# substrate microbenchmarks
+# ---------------------------------------------------------------------------
+def scenario_kernel(scale: PerfScale) -> list[dict]:
+    """Simulation-kernel microbenchmark: schedule, cancel, chain, drain."""
+    sim = Simulator()
+    fired = 0
+
+    def tick() -> None:
+        nonlocal fired
+        fired += 1
+
+    # Phase 1: bulk schedule with a third of the events cancelled before the
+    # run — the pattern replica timers produce, and what heap compaction is
+    # for.
+    events = [sim.schedule(float(i % 97) + 1.0, tick)
+              for i in range(scale.micro_ops)]
+    for index, event in enumerate(events):
+        if index % 3 == 0:
+            event.cancel()
+    pending_after_cancel = sim.pending_events
+    sim.run_until_idle()
+
+    # Phase 2: a sequential chain, each callback scheduling the next —
+    # the pure per-event overhead of the loop.
+    remaining = scale.micro_ops
+
+    def chain() -> None:
+        nonlocal remaining, fired
+        fired += 1
+        remaining -= 1
+        if remaining > 0:
+            sim.schedule(1.0, chain)
+
+    sim.schedule(1.0, chain)
+    sim.run_until_idle()
+
+    return [{
+        "scheduled": 2 * scale.micro_ops,
+        "fired": fired,
+        "pending_after_cancel": pending_after_cancel,
+        "events": sim.events_processed,
+        "sim_time_us": sim.now,
+    }]
+
+
+class _Sink:
+    """Network node that counts deliveries."""
+
+    __slots__ = ("name", "received")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.received = 0
+
+    def receive(self, envelope: Envelope) -> None:
+        self.received += 1
+
+
+def scenario_network(scale: PerfScale) -> list[dict]:
+    """Transport microbenchmark: point-to-point sends through the topology."""
+    sim = Simulator()
+    names = [f"perf-node-{i}" for i in range(4)]
+    topology = build_topology(names, [], ("san-jose",), 120.0)
+    network = Network(sim, topology, RngRegistry(7))
+    sinks = [_Sink(name) for name in names]
+    for sink in sinks:
+        network.register(sink)
+    for i in range(scale.micro_ops):
+        source = names[i % 4]
+        destination = names[(i + 1 + i % 3) % 4]
+        network.send(source, destination, i)
+    sim.run_until_idle()
+    return [{
+        "messages_sent": network.stats.messages_sent,
+        "messages_delivered": network.stats.messages_delivered,
+        "received": sum(sink.received for sink in sinks),
+        "events": sim.events_processed,
+        "sim_time_us": round(sim.now, 3),
+    }]
+
+
+def scenario_crypto(scale: PerfScale) -> list[dict]:
+    """Serialisation/crypto microbenchmark: digest, sign, verify, re-verify.
+
+    Mirrors the per-message life cycle inside a deployment: a request is
+    digested when batched, re-digested when the batch is hashed, signed once,
+    then verified by every receiving replica — so repeated digests and
+    verifies of the *same* object dominate, which is exactly what the
+    memoisation layer exists to make cheap.
+    """
+    keystore = KeyStore(seed=7)
+    key = keystore.register("perf-signer")
+    iterations = max(1, scale.micro_ops // 20)
+    rolling = b"\x00" * 32
+    signs = verifies = digests = 0
+    for i in range(iterations):
+        request = ClientRequest(
+            request_id=RequestId(client="perf-client", number=i),
+            operations=(Operation(action="write", key=f"user{i % 997}",
+                                  value=f"value-{i}"),))
+        batch = RequestBatch(requests=(request,) * 4)
+        for _ in range(3):  # sign -> verify -> re-verify re-digest pattern
+            rolling = combine_digests(rolling, batch.digest(),
+                                      request.payload_digest())
+            digests += 2
+        signature = key.sign(request.signed_part())
+        signs += 1
+        for _ in range(2):
+            keystore.verify(request.signed_part(), signature)
+            verifies += 1
+    rolling = combine_digests(rolling, digest({"iterations": iterations}))
+    return [{
+        "iterations": iterations,
+        "digests": digests,
+        "signs": signs,
+        "verifies": verifies,
+        "rolling_digest": rolling.hex(),
+        "events": 0,
+    }]
+
+
+#: registry of every named scenario.
+SCENARIOS: dict[str, object] = {
+    "fig1": scenario_fig1,
+    "recovery": scenario_recovery,
+    "sharding_scaleout": scenario_sharding_scaleout,
+    "kernel": scenario_kernel,
+    "network": scenario_network,
+    "crypto": scenario_crypto,
+}
+
+#: suites map one name to (scenario, scale) pairs; ``--scenarios smoke`` runs
+#: every scenario at smoke scale, which is what the CI perf-regression job
+#: gates on.
+SUITES: dict[str, tuple[tuple[str, str], ...]] = {
+    "smoke": tuple((name, "smoke") for name in SCENARIOS),
+    "medium": tuple((name, "medium") for name in SCENARIOS),
+    "large": tuple((name, "large") for name in SCENARIOS),
+}
+
+
+def metrics_digest(rows: list[dict]) -> str:
+    """Deterministic digest of a scenario's simulated rows.
+
+    Wall-clock values never appear in rows, so this digest is a pure function
+    of simulated behaviour: identical before and after a legitimate
+    performance optimisation, different whenever simulated results changed.
+    """
+    return digest(rows).hex()
+
+
+def total_events(rows: list[dict]) -> int:
+    """Kernel events processed across a scenario's rows."""
+    return sum(int(row.get("events", 0)) for row in rows)
+
+
+def peak_throughput(rows: list[dict]) -> float:
+    """Best simulated throughput across rows (0.0 for microbenchmarks)."""
+    best = 0.0
+    for row in rows:
+        for column in ("aggregate_throughput_tx_s", "throughput_tx_s"):
+            value = row.get(column)
+            if isinstance(value, (int, float)):
+                best = max(best, float(value))
+                break
+    return best

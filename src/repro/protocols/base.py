@@ -27,7 +27,7 @@ critical path of every message that carries an attestation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from ..common.config import (
@@ -70,6 +70,8 @@ from .messages import (
     Response,
     ViewChange,
     noop_batch,
+    signed_part_bytes,
+    with_signature,
 )
 
 #: messages a recovering replica must not emit: it re-executes history during
@@ -104,7 +106,7 @@ class ReplicaContext:
     recovery_config: RecoveryConfig = field(default_factory=RecoveryConfig)
 
 
-@dataclass
+@dataclass(slots=True)
 class HandlerOutput:
     """Per-handler accumulator of CPU cost and buffered outbound messages."""
 
@@ -113,7 +115,7 @@ class HandlerOutput:
     signed_objects: set[int] = field(default_factory=set)
 
 
-@dataclass
+@dataclass(slots=True)
 class Instance:
     """Per-sequence-number consensus bookkeeping."""
 
@@ -130,7 +132,7 @@ class Instance:
     speculative: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicaStats:
     """Counters exposed for experiments and tests."""
 
@@ -183,6 +185,11 @@ class BaseReplica:
         self.next_seq: SeqNum = 0
         self.instances: dict[SeqNum, Instance] = {}
         self.pending_requests: list[ClientRequest] = []
+        #: ids of the requests in ``pending_requests`` — the O(1) duplicate
+        #: check for the hot enqueue path (kept best-effort in sync; the
+        #: enqueue falls back to scanning when the two disagree, e.g. after a
+        #: test manipulated the list directly).
+        self.pending_request_ids: set[RequestId] = set()
         #: requests batched into a proposed-but-not-yet-executed instance; a
         #: client resend arriving in that window must not be batched again
         #: (it would execute twice — exactly-once).
@@ -452,8 +459,8 @@ class BaseReplica:
 
     def signed(self, message):
         """Return a copy of ``message`` carrying this replica's signature."""
-        signature = self.key.sign(message.signed_part())
-        return replace(message, signature=signature)
+        signature = self.key.sign_bytes(signed_part_bytes(message))
+        return with_signature(message, signature)
 
     # ----------------------------------------------------- client interaction
     def cached_reply(self, request_id: RequestId) -> Optional[Response]:
@@ -508,9 +515,14 @@ class BaseReplica:
         """Add a request to the primary's pending batch."""
         if request.request_id in self.proposed_requests:
             return
-        if any(r.request_id == request.request_id for r in self.pending_requests):
+        if request.request_id in self.pending_request_ids:
+            return
+        if (len(self.pending_request_ids) != len(self.pending_requests)
+                and any(r.request_id == request.request_id
+                        for r in self.pending_requests)):
             return
         self.pending_requests.append(request)
+        self.pending_request_ids.add(request.request_id)
         self.maybe_propose()
 
     def forward_to_primary(self, request: ClientRequest) -> None:
@@ -561,6 +573,8 @@ class BaseReplica:
             batchable.append(request)
             if len(batchable) >= self.config.batch_size:
                 break
+        for request in self.pending_requests[:consumed]:
+            self.pending_request_ids.discard(request.request_id)
         del self.pending_requests[:consumed]
         if not batchable:
             return
@@ -962,8 +976,8 @@ class BaseReplica:
             # from its single signing key.
             if (vote.signature is None
                     or vote.signature.signer != self.ctx.replica_names[vote.replica]
-                    or not self.ctx.keystore.is_valid(vote.signed_part(),
-                                                      vote.signature)):
+                    or not self.ctx.keystore.is_valid_encoded(
+                        signed_part_bytes(vote), vote.signature)):
                 return False
             voters.add(vote.replica)
         return True
@@ -1255,7 +1269,8 @@ class BaseReplica:
         """Check the client's signature on a request (primary-side)."""
         if request.signature is None:
             return request.client.startswith("__")
-        return self.ctx.keystore.is_valid(request.signed_part(), request.signature)
+        return self.ctx.keystore.is_valid_encoded(signed_part_bytes(request),
+                                                  request.signature)
 
     def verify_preprepare_attestation(self, preprepare: PrePrepare,
                                       expected_component: str) -> bool:

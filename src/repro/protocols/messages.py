@@ -17,13 +17,57 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..common.types import ClientId, ReplicaId, RequestId, SeqNum, ViewNum
-from ..crypto.digest import combine_digests, digest
+from ..crypto.digest import (
+    canonical_bytes,
+    canonical_cacheable,
+    combine_digests,
+    digest,
+    drop_whole_value_caches,
+    pinned,
+)
 from ..crypto.signatures import Signature
 from ..execution.state_machine import Operation, OperationResult
 from ..trusted.attestation import Attestation
 
 
+def signed_part_bytes(message) -> bytes:
+    """Canonical encoding of ``message.signed_part()``, memoised per instance.
+
+    A message is signed once but its signed part is re-encoded on every
+    verification — and the same delivered object is verified by many
+    receivers.  ``signed_part()`` never covers the ``signature`` field, so
+    the cache stays valid on signed copies produced by
+    :func:`with_signature`, which is how the encoding computed at signing
+    time reaches every verifier for free.
+    """
+    return pinned(message, "_signed_part_bytes",
+                  lambda: canonical_bytes(message.signed_part()))
+
+
+def with_signature(message, signature: Signature):
+    """Copy of a frozen message carrying ``signature``.
+
+    Equivalent to ``dataclasses.replace(message, signature=signature)`` but
+    keeps the memoised signature-exempt caches (signed-part bytes, payload
+    and batch digests) on the copy; only the whole-value encoding caches —
+    which cover the signature field — are dropped.
+    """
+    if "signature" not in type(message).__dataclass_fields__:
+        # Same contract as dataclasses.replace: a message type without a
+        # signature field must fail loudly, not carry a non-field attribute
+        # that encoding and equality would silently ignore.
+        raise TypeError(
+            f"{type(message).__name__} has no 'signature' field to replace")
+    clone = object.__new__(type(message))
+    state = dict(message.__dict__)
+    drop_whole_value_caches(state)
+    state["signature"] = signature
+    clone.__dict__.update(state)
+    return clone
+
+
 # --------------------------------------------------------------------- client
+@canonical_cacheable
 @dataclass(frozen=True)
 class ClientRequest:
     """A signed client transaction ``⟨T⟩_c`` (possibly several operations)."""
@@ -38,14 +82,21 @@ class ClientRequest:
         return self.request_id.client
 
     def payload_digest(self) -> bytes:
-        """Digest of the transaction (what the primary hashes as ``Δ``)."""
-        return digest({"request_id": self.request_id, "operations": self.operations})
+        """Digest of the transaction (what the primary hashes as ``Δ``).
+
+        Memoised: the digest is computed when the request is first batched
+        or signed and reused on every later batch hash and re-verification.
+        """
+        return pinned(self, "_payload_digest",
+                      lambda: digest({"request_id": self.request_id,
+                                      "operations": self.operations}))
 
     def signed_part(self) -> dict:
         return {"request_id": self.request_id,
                 "digest": self.payload_digest()}
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class RequestBatch:
     """A batch of client requests ordered as one consensus decision."""
@@ -53,13 +104,16 @@ class RequestBatch:
     requests: tuple[ClientRequest, ...]
 
     def digest(self) -> bytes:
-        """Digest committing to every request in order."""
-        return combine_digests(*(req.payload_digest() for req in self.requests))
+        """Digest committing to every request in order (memoised)."""
+        return pinned(self, "_batch_digest",
+                      lambda: combine_digests(*(req.payload_digest()
+                                                for req in self.requests)))
 
     def __len__(self) -> int:
         return len(self.requests)
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class Response:
     """Reply from a replica to a client for one request."""
@@ -82,6 +136,7 @@ class Response:
         return (self.request_id, self.seq, self.view, self.result_digest)
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class ResendRequest:
     """A client re-broadcasting a request it never got enough replies for."""
@@ -90,6 +145,7 @@ class ResendRequest:
 
 
 # ------------------------------------------------------------------ consensus
+@canonical_cacheable
 @dataclass(frozen=True)
 class PrePrepare:
     """The primary's proposal binding a batch to a sequence number."""
@@ -107,6 +163,7 @@ class PrePrepare:
                 "batch_digest": self.batch_digest, "primary": self.primary}
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class Prepare:
     """A replica's vote supporting a (sequence number, batch) pairing."""
@@ -123,6 +180,7 @@ class Prepare:
                 "batch_digest": self.batch_digest, "replica": self.replica}
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class Commit:
     """A replica's vote that a batch is prepared and may be committed."""
@@ -140,6 +198,7 @@ class Commit:
 
 
 # --------------------------------------------------------- speculative paths
+@canonical_cacheable
 @dataclass(frozen=True)
 class CommitCertificate:
     """Client-assembled proof that enough replicas speculatively executed.
@@ -157,6 +216,7 @@ class CommitCertificate:
     responders: tuple[ReplicaId, ...]
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class CommitAck:
     """A replica's acknowledgement of a client commit certificate."""
@@ -177,6 +237,7 @@ class CommitAck:
 
 
 # ----------------------------------------------------------------- liveness
+@canonical_cacheable
 @dataclass(frozen=True)
 class Checkpoint:
     """Periodic state digest exchanged to garbage-collect logs."""
@@ -192,6 +253,7 @@ class Checkpoint:
                 "replica": self.replica}
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class PreparedProof:
     """Evidence carried in a ViewChange that a batch was prepared/executed."""
@@ -204,6 +266,7 @@ class PreparedProof:
     prepare_count: int = 0
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class ViewChange:
     """A replica's vote to move to ``new_view`` with its protocol evidence."""
@@ -221,6 +284,7 @@ class ViewChange:
                                           for p in self.prepared)}
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class NewView:
     """The new primary's start-of-view message with re-proposals."""
@@ -239,6 +303,7 @@ class NewView:
 
 
 # ------------------------------------------------------------ state transfer
+@canonical_cacheable
 @dataclass(frozen=True)
 class CheckpointRequest:
     """A restarted or lagging replica asking its peers for catch-up state."""
@@ -281,6 +346,7 @@ class CheckpointReply:
                 "last_executed": self.last_executed, "view": self.view}
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class LogFillEntry:
     """One decided batch a peer replays to a recovering replica."""
@@ -291,6 +357,7 @@ class LogFillEntry:
     batch_digest: bytes
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class LogFill:
     """Decided batches above the checkpoint, replayed peer-to-peer."""

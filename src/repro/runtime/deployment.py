@@ -54,6 +54,7 @@ def substrate_columns(result) -> dict:
     """Substrate columns shared by single-group and sharded result rows."""
     return {
         "sim_time_s": round(result.sim_time_s, 3),
+        "events": result.events,
         "messages_sent": result.messages_sent,
         "trusted_accesses": result.trusted_accesses,
         "consensus_safe": result.consensus_safe,

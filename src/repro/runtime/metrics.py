@@ -16,7 +16,7 @@ from typing import Optional
 from ..common.types import MICROS_PER_SECOND, Micros, RequestId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletionRecord:
     """One completed client request."""
 

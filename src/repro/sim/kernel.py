@@ -22,26 +22,47 @@ from ..common.errors import SimulationError
 from ..common.types import Micros
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
     Events compare by ``(time, seq)`` so simultaneous events run in the order
-    they were scheduled, which keeps runs deterministic.
+    they were scheduled, which keeps runs deterministic.  Millions are created
+    per experiment, hence ``slots=True``.
     """
 
     time: Micros
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: the simulator whose queue still holds this event; cleared on pop so a
+    #: late cancel of an already-run event cannot skew the kernel's
+    #: cancelled-entry accounting.
+    owner: Optional["Simulator"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when it is popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self.owner is not None:
+                self.owner._note_cancelled()
 
 
 class Simulator:
-    """Event loop with a simulated microsecond clock."""
+    """Event loop with a simulated microsecond clock.
+
+    Cancelled events are skipped lazily when popped; when they come to
+    dominate the queue (restartable timers churn them out constantly) the
+    kernel compacts the heap in one pass instead of paying ``log n`` pushes
+    against a queue full of dead entries.
+    """
+
+    __slots__ = ("_queue", "_seq", "_now", "_events_processed", "_running",
+                 "_cancelled_pending")
+
+    #: compaction triggers once at least this many cancelled entries make up
+    #: the majority of the queue (the floor keeps tiny queues compaction-free).
+    _COMPACTION_FLOOR = 64
 
     def __init__(self) -> None:
         self._queue: list[Event] = []
@@ -49,6 +70,7 @@ class Simulator:
         self._now: Micros = 0.0
         self._events_processed = 0
         self._running = False
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> Micros:
@@ -62,8 +84,21 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._queue)
+        """Number of *live* events still in the queue (cancelled excluded)."""
+        return len(self._queue) - self._cancelled_pending
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; compact once dead entries dominate."""
+        self._cancelled_pending += 1
+        if (self._cancelled_pending >= self._COMPACTION_FLOOR
+                and self._cancelled_pending * 2 >= len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (heap order is preserved)."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     def schedule(self, delay: Micros, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""
@@ -76,7 +111,8 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} us, clock already at {self._now} us")
-        event = Event(time=time, seq=next(self._seq), callback=callback)
+        event = Event(time=time, seq=next(self._seq), callback=callback,
+                      owner=self)
         heapq.heappush(self._queue, event)
         return event
 
@@ -99,11 +135,14 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    event.owner = None
+                    self._cancelled_pending -= 1
                     continue
                 if until is not None and event.time > until:
                     self._now = until
                     break
                 heapq.heappop(self._queue)
+                event.owner = None
                 self._now = event.time
                 event.callback()
                 self._events_processed += 1
@@ -130,6 +169,8 @@ class Timer:
     view-change timeouts.  ``restart`` cancels any pending expiry and arms the
     timer again, which is the common "reset on progress" pattern.
     """
+
+    __slots__ = ("_sim", "_callback", "_event")
 
     def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
         self._sim = sim

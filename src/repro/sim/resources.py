@@ -25,7 +25,7 @@ from ..common.types import Micros
 from .kernel import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceStats:
     """Aggregate utilisation statistics for a resource."""
 
@@ -46,7 +46,7 @@ class ResourceStats:
         return self.total_queue_wait_us / self.jobs_completed
 
 
-@dataclass
+@dataclass(slots=True)
 class _Job:
     service_time: Micros
     on_complete: Optional[Callable[[], None]]
@@ -61,6 +61,8 @@ class WorkerPool:
     is the model of a replica's CPU: message verification and handler compute
     time are charged here.
     """
+
+    __slots__ = ("_sim", "_workers", "_busy", "_queue", "_stats", "name")
 
     def __init__(self, sim: Simulator, workers: int, name: str = "workers") -> None:
         if workers <= 0:
@@ -125,6 +127,8 @@ class SerialDevice:
     use to delay dependent actions (e.g. sending the Preprepare carrying the
     attestation).
     """
+
+    __slots__ = ("_sim", "_latency", "_available_at", "_stats", "name")
 
     def __init__(self, sim: Simulator, access_latency_us: Micros,
                  name: str = "trusted-device") -> None:

@@ -13,10 +13,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..common.errors import InvalidAttestation
+from ..crypto.digest import canonical_bytes, canonical_cacheable, pinned
 from ..crypto.keystore import KeyStore, KeyStoreVerifier
 from ..crypto.signatures import Signature, SigningKey
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class Attestation:
     """A signed binding of (counter, value) to a payload digest."""
@@ -35,6 +37,16 @@ class Attestation:
             "value": self.value,
             "payload_digest": self.payload_digest,
         }
+
+    def statement_bytes(self) -> bytes:
+        """Canonical encoding of :meth:`statement`, memoised per instance.
+
+        An attestation travels inside a broadcast Preprepare and is verified
+        by every receiving replica; the one shared object re-encodes its
+        statement once instead of once per verifier.
+        """
+        return pinned(self, "_statement_bytes",
+                      lambda: canonical_bytes(self.statement()))
 
 
 def make_attestation(key: SigningKey, counter_id: int, value: int,
@@ -76,6 +88,7 @@ def verify_attestation(verifier: KeyStore | KeyStoreVerifier,
     if attestation.signature.signer != attestation.component:
         raise InvalidAttestation("attestation signer does not match component")
     try:
-        verifier.verify(attestation.statement(), attestation.signature)
+        verifier.verify_encoded(attestation.statement_bytes(),
+                                attestation.signature)
     except Exception as exc:
         raise InvalidAttestation(f"attestation signature invalid: {exc}") from exc

@@ -32,6 +32,8 @@ from ..protocols.messages import (
     CommitCertificate,
     ResendRequest,
     Response,
+    signed_part_bytes,
+    with_signature,
 )
 from ..protocols.registry import ReplyPolicy
 from ..sim.kernel import Simulator, Timer
@@ -49,7 +51,7 @@ class CompletionSink(Protocol):
                           operations: int) -> None: ...
 
 
-@dataclass
+@dataclass(slots=True)
 class ClientStats:
     """Per-client counters."""
 
@@ -59,7 +61,7 @@ class ClientStats:
     certificates_sent: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingRequest:
     request: ClientRequest
     submitted_at: Micros
@@ -136,8 +138,8 @@ class Client:
         self._next_number += 1
         request_id = RequestId(client=self.name, number=self._next_number)
         request = ClientRequest(request_id=request_id, operations=operations)
-        request = ClientRequest(request_id=request_id, operations=operations,
-                                signature=self.key.sign(request.signed_part()))
+        request = with_signature(
+            request, self.key.sign_bytes(signed_part_bytes(request)))
         self._pending = _PendingRequest(request=request, submitted_at=self.sim.now)
         self.stats.submitted += 1
         if self.sink is not None:

@@ -12,6 +12,9 @@ import random
 
 from ..common.errors import ConfigurationError
 
+#: memoised harmonic sums keyed by (n, theta); see ``_zeta``.
+_ZETA_CACHE: dict[tuple[int, float], float] = {}
+
 
 class ZipfianGenerator:
     """Draws integers in ``[0, items)`` with zipfian skew."""
@@ -31,7 +34,15 @@ class ZipfianGenerator:
 
     @staticmethod
     def _zeta(n: int, theta: float) -> float:
-        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        # Every client of a deployment builds a generator over the same key
+        # space, so the harmonic sum is computed once per (n, theta) and
+        # shared; it involves no randomness, only the parameters.
+        key = (n, theta)
+        value = _ZETA_CACHE.get(key)
+        if value is None:
+            value = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+            _ZETA_CACHE[key] = value
+        return value
 
     def _compute_eta(self) -> float:
         if self._theta == 0.0 or self._items <= 2:

@@ -1,0 +1,189 @@
+"""Property tests: cached and uncached digest/signature paths must agree.
+
+The memoisation layer (per-instance canonical-bytes caches, signed-part
+bytes, the key store's verification cache, the HMAC templates) exists purely
+to avoid redundant work — on arbitrary messages it must be observationally
+identical to the uncached reference paths.  These properties pin that down:
+a caching bug that changed any encoding, digest or signature outcome would
+change simulated consensus behaviour everywhere.
+"""
+
+import dataclasses
+import hashlib
+import hmac as hmac_mod
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import RequestId
+from repro.crypto import KeyStore, canonical_bytes, combine_digests, digest
+from repro.crypto.signatures import _SIG_TAG, SigningKey
+from repro.execution.state_machine import Operation
+from repro.protocols.messages import (
+    ClientRequest,
+    Commit,
+    Prepare,
+    RequestBatch,
+    signed_part_bytes,
+    with_signature,
+)
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+plain_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(),
+    st.floats(allow_nan=False), st.text(max_size=24),
+    st.binary(max_size=24))
+
+plain_values = st.recursive(
+    plain_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4)),
+    max_leaves=12)
+
+operations = st.builds(
+    Operation,
+    action=st.sampled_from(["read", "write", "rmw"]),
+    key=st.text(min_size=1, max_size=12),
+    value=st.text(max_size=16))
+
+request_ids = st.builds(
+    RequestId, client=st.text(min_size=1, max_size=10),
+    number=st.integers(min_value=0, max_value=1_000_000))
+
+client_requests = st.builds(
+    ClientRequest, request_id=request_ids,
+    operations=st.lists(operations, min_size=1, max_size=4).map(tuple))
+
+batches = st.builds(
+    RequestBatch,
+    requests=st.lists(client_requests, min_size=1, max_size=4).map(tuple))
+
+prepares = st.builds(
+    Prepare, view=st.integers(min_value=0, max_value=50),
+    seq=st.integers(min_value=0, max_value=10_000),
+    batch_digest=st.binary(min_size=32, max_size=32),
+    replica=st.integers(min_value=0, max_value=30))
+
+commits = st.builds(
+    Commit, view=st.integers(min_value=0, max_value=50),
+    seq=st.integers(min_value=0, max_value=10_000),
+    batch_digest=st.binary(min_size=32, max_size=32),
+    replica=st.integers(min_value=0, max_value=30))
+
+signable_messages = st.one_of(client_requests, prepares, commits)
+
+prop_settings = settings(max_examples=150, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# canonical encoding and digests
+# ---------------------------------------------------------------------------
+@prop_settings
+@given(plain_values)
+def test_cached_and_uncached_encoding_agree_on_plain_values(value):
+    assert canonical_bytes(value) == canonical_bytes(value, use_cache=False)
+    assert digest(value) == digest(value, use_cache=False)
+
+
+@prop_settings
+@given(st.one_of(client_requests, batches, prepares, commits))
+def test_cached_and_uncached_encoding_agree_on_messages(message):
+    uncached = canonical_bytes(message, use_cache=False)
+    assert canonical_bytes(message) == uncached          # populates the cache
+    assert canonical_bytes(message) == uncached          # reads the cache
+    assert digest(message) == digest(message, use_cache=False)
+
+
+@prop_settings
+@given(client_requests)
+def test_payload_digest_matches_uncached_reference(request):
+    reference = hashlib.sha256(canonical_bytes(
+        {"request_id": request.request_id, "operations": request.operations},
+        use_cache=False)).digest()
+    assert request.payload_digest() == reference
+    assert request.payload_digest() == reference  # memoised second read
+
+
+@prop_settings
+@given(batches)
+def test_batch_digest_matches_uncached_reference(batch):
+    reference = combine_digests(
+        *(hashlib.sha256(canonical_bytes(
+            {"request_id": r.request_id, "operations": r.operations},
+            use_cache=False)).digest() for r in batch.requests))
+    assert batch.digest() == reference
+    assert batch.digest() == reference
+
+
+@prop_settings
+@given(signable_messages)
+def test_signed_part_bytes_matches_uncached_reference(message):
+    reference = canonical_bytes(message.signed_part(), use_cache=False)
+    assert signed_part_bytes(message) == reference
+    assert signed_part_bytes(message) == reference
+
+
+# ---------------------------------------------------------------------------
+# signatures
+# ---------------------------------------------------------------------------
+@prop_settings
+@given(signable_messages, st.binary(min_size=1, max_size=32))
+def test_signature_matches_raw_hmac_reference(message, secret):
+    key = SigningKey("signer", secret)
+    signature = key.sign_bytes(signed_part_bytes(message))
+    reference = hmac_mod.new(
+        secret,
+        _SIG_TAG + canonical_bytes(message.signed_part(), use_cache=False),
+        hashlib.sha256).digest()
+    assert signature.value == reference
+
+
+@prop_settings
+@given(signable_messages)
+def test_verification_cache_agrees_with_fresh_keystore(message):
+    cached_store = KeyStore(seed=5)
+    key = cached_store.register("signer")
+    signature = key.sign(message.signed_part())
+    # Same verification three times through one store: first populates the
+    # cache, the rest hit it; a fresh store never hits its cache at all.
+    for _ in range(3):
+        assert cached_store.is_valid(message.signed_part(), signature)
+        assert cached_store.is_valid_encoded(signed_part_bytes(message),
+                                             signature)
+    fresh = KeyStore(seed=5)
+    fresh.register("signer")
+    assert fresh.is_valid(message.signed_part(), signature)
+    assert cached_store.stats.verify_cache_hits > 0
+
+
+@prop_settings
+@given(signable_messages)
+def test_tampered_signature_rejected_by_cached_and_fresh_paths(message):
+    store = KeyStore(seed=5)
+    key = store.register("signer")
+    signature = key.sign(message.signed_part())
+    tampered = dataclasses.replace(
+        signature, value=bytes(b ^ 0xFF for b in signature.value))
+    for _ in range(3):  # the cached False outcome must stay False
+        assert not store.is_valid(message.signed_part(), tampered)
+    fresh = KeyStore(seed=5)
+    fresh.register("signer")
+    assert not fresh.is_valid(message.signed_part(), tampered)
+
+
+@prop_settings
+@given(signable_messages)
+def test_with_signature_equals_dataclasses_replace(message):
+    key = SigningKey("signer", b"secret")
+    signed_part_bytes(message)  # populate the cache that the copy keeps
+    signature = key.sign_bytes(signed_part_bytes(message))
+    fast = with_signature(message, signature)
+    reference = dataclasses.replace(message, signature=signature)
+    assert fast == reference
+    assert type(fast) is type(message)
+    # The copy's memoised signed part must equal a from-scratch encoding of
+    # the signed copy (signed_part never covers the signature field).
+    assert signed_part_bytes(fast) == canonical_bytes(
+        reference.signed_part(), use_cache=False)

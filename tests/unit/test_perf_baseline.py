@@ -1,0 +1,239 @@
+"""Unit tests for the performance harness: baseline comparison and runner."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    DEFAULT_TOLERANCES,
+    Tolerance,
+    baseline_path,
+    compare_result,
+    format_comparison,
+    load_baseline,
+    result_payload,
+    run_scenario,
+    write_bench_json,
+)
+from repro.perf.baseline import (
+    DIGEST_MISMATCH,
+    IMPROVED,
+    INCOMPARABLE,
+    MISSING_BASELINE,
+    OK,
+    REGRESSION,
+    compare_to_dir,
+)
+
+
+def payload(scenario="crypto", scale="smoke", wall=10.0, calibration=1.0,
+            digest="abc123", events_per_sec=1000.0):
+    return {
+        "schema_version": 1,
+        "scenario": scenario,
+        "scale": scale,
+        "wall_seconds": wall,
+        "calibration_seconds": calibration,
+        "normalized_wall": wall / calibration,
+        "events": 1000,
+        "events_per_sec": events_per_sec,
+        "metrics_digest": digest,
+    }
+
+
+class TestCompareResult:
+    def test_within_tolerance_passes(self):
+        baseline = payload(wall=10.0)
+        current = payload(wall=11.0)  # 10% slower, tolerance is 25%
+        comparison = compare_result(current, baseline)
+        assert comparison.status == OK
+        assert comparison.ok
+
+    def test_regression_detected(self):
+        baseline = payload(wall=10.0)
+        current = payload(wall=14.0)  # 40% slower
+        comparison = compare_result(current, baseline)
+        assert comparison.status == REGRESSION
+        assert not comparison.ok
+        failed = [c for c in comparison.checks if c.failed]
+        assert [c.metric for c in failed] == ["normalized_wall"]
+        assert failed[0].regression == pytest.approx(0.4)
+
+    def test_improvement_reported(self):
+        baseline = payload(wall=10.0)
+        current = payload(wall=5.0)
+        comparison = compare_result(current, baseline)
+        assert comparison.status == IMPROVED
+        assert comparison.ok
+
+    def test_missing_baseline_fails(self):
+        comparison = compare_result(payload(), None)
+        assert comparison.status == MISSING_BASELINE
+        assert not comparison.ok
+        assert "no committed baseline" in comparison.notes[0]
+
+    def test_digest_mismatch_fails_even_when_faster(self):
+        baseline = payload(wall=10.0, digest="aaa")
+        current = payload(wall=1.0, digest="bbb")
+        comparison = compare_result(current, baseline)
+        assert comparison.status == DIGEST_MISMATCH
+        assert not comparison.ok
+
+    def test_scale_mismatch_fails(self):
+        baseline = payload(scale="smoke")
+        current = payload(scale="medium")
+        comparison = compare_result(current, baseline)
+        assert comparison.status == INCOMPARABLE
+        assert not comparison.ok
+
+    def test_schema_version_mismatch_fails(self):
+        baseline = payload()
+        baseline["schema_version"] = 0
+        comparison = compare_result(payload(), baseline)
+        assert comparison.status == INCOMPARABLE
+        assert not comparison.ok
+        assert "schema mismatch" in comparison.notes[0]
+
+    def test_non_gating_metric_never_fails(self):
+        baseline = payload(events_per_sec=10_000.0)
+        current = payload(events_per_sec=100.0)  # 99% fewer events/sec
+        comparison = compare_result(current, baseline)
+        assert comparison.status == OK  # events_per_sec has gate=False
+
+    def test_custom_tolerance(self):
+        tight = (Tolerance("normalized_wall", higher_is_better=False,
+                           max_regression=0.05),)
+        baseline = payload(wall=10.0)
+        current = payload(wall=11.0)
+        assert compare_result(current, baseline).ok  # default 25%
+        assert not compare_result(current, baseline, tight).ok
+
+    def test_gate_fails_closed_when_no_gated_metric_comparable(self):
+        # A baseline whose only gated metric is unusable (zero wall) must
+        # fail the comparison, not silently gate nothing.
+        baseline = payload(wall=0.0, calibration=1.0)
+        current = payload(wall=5.0)
+        comparison = compare_result(current, baseline)
+        assert "normalized_wall" not in [c.metric for c in comparison.checks]
+        assert comparison.status == INCOMPARABLE
+        assert not comparison.ok
+
+    def test_format_comparison_mentions_failures(self):
+        comparison = compare_result(payload(wall=20.0), payload(wall=10.0))
+        text = format_comparison(comparison)
+        assert "REGRESSION" in text
+        assert "normalized_wall" in text
+
+
+class TestCompareToDir:
+    def test_loads_baselines_by_scenario_name(self, tmp_path):
+        baseline = payload(scenario="crypto", wall=10.0)
+        path = baseline_path(str(tmp_path), "crypto")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(baseline, handle)
+        comparisons = compare_to_dir(
+            [payload(scenario="crypto", wall=10.5),
+             payload(scenario="kernel", wall=1.0)], str(tmp_path))
+        by_scenario = {c.scenario: c for c in comparisons}
+        assert by_scenario["crypto"].ok
+        assert by_scenario["kernel"].status == MISSING_BASELINE
+
+    def test_load_baseline_missing_returns_none(self, tmp_path):
+        assert load_baseline(str(tmp_path / "nope.json")) is None
+
+
+class TestRunner:
+    def test_crypto_scenario_runs_and_is_deterministic(self):
+        first = run_scenario("crypto", "smoke", calibration_seconds=1.0)
+        second = run_scenario("crypto", "smoke", calibration_seconds=1.0)
+        assert first.metrics_digest == second.metrics_digest
+        assert first.rows == second.rows
+        assert first.wall_seconds > 0
+
+    def test_unknown_scenario_and_scale_raise(self):
+        with pytest.raises(KeyError):
+            run_scenario("nope", "smoke")
+        with pytest.raises(KeyError):
+            run_scenario("crypto", "nope")
+
+    def test_write_bench_json(self, tmp_path):
+        result = run_scenario("crypto", "smoke", calibration_seconds=1.0)
+        path = write_bench_json(result, str(tmp_path))
+        assert path.endswith("BENCH_crypto.json")
+        stored = json.load(open(path, encoding="utf-8"))
+        assert stored["scenario"] == "crypto"
+        assert stored["metrics_digest"] == result.metrics_digest
+        assert stored["wall_seconds"] > 0
+        assert "events_per_sec" in stored
+
+    def test_payload_roundtrips_through_comparison(self, tmp_path):
+        result = run_scenario("kernel", "smoke", calibration_seconds=1.0)
+        stored = result_payload(result)
+        comparison = compare_result(stored, stored, DEFAULT_TOLERANCES)
+        assert comparison.ok
+
+
+class TestPerfCli:
+    def test_update_then_check_baseline_passes(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "out"
+        baselines = tmp_path / "baselines"
+        assert main(["perf", "--scenarios", "crypto", "kernel",
+                     "--out", str(out),
+                     "--update-baseline", str(baselines)]) == 0
+        assert (out / "BENCH_crypto.json").exists()
+        assert (baselines / "BENCH_kernel.json").exists()
+        assert main(["perf", "--scenarios", "crypto", "kernel",
+                     "--out", str(out),
+                     "--check-baseline", str(baselines)]) == 0
+
+    def test_check_against_missing_baseline_fails(self, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["perf", "--scenarios", "crypto",
+                     "--out", str(tmp_path / "out"),
+                     "--check-baseline", str(tmp_path / "empty")]) == 1
+
+    def test_check_against_tampered_digest_fails(self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "out"
+        baselines = tmp_path / "baselines"
+        assert main(["perf", "--scenarios", "crypto", "--out", str(out),
+                     "--update-baseline", str(baselines)]) == 0
+        path = baselines / "BENCH_crypto.json"
+        stored = json.load(open(path, encoding="utf-8"))
+        stored["metrics_digest"] = "0" * 64
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(stored, handle)
+        assert main(["perf", "--scenarios", "crypto", "--out", str(out),
+                     "--check-baseline", str(baselines)]) == 1
+
+    def test_combined_flags_check_old_baselines_and_keep_them_on_failure(
+            self, tmp_path):
+        from repro.__main__ import main
+
+        out = tmp_path / "out"
+        baselines = tmp_path / "baselines"
+        assert main(["perf", "--scenarios", "crypto", "--out", str(out),
+                     "--update-baseline", str(baselines)]) == 0
+        path = baselines / "BENCH_crypto.json"
+        stored = json.load(open(path, encoding="utf-8"))
+        stored["metrics_digest"] = "0" * 64
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(stored, handle)
+        # Both flags on one directory: the check must run against the old
+        # (tampered) baseline — not a freshly written copy of itself — and a
+        # failing check must not overwrite that baseline.
+        assert main(["perf", "--scenarios", "crypto", "--out", str(out),
+                     "--check-baseline", str(baselines),
+                     "--update-baseline", str(baselines)]) == 1
+        kept = json.load(open(path, encoding="utf-8"))
+        assert kept["metrics_digest"] == "0" * 64
+
+    def test_unknown_scenario_exits_with_error(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["perf", "--scenarios", "bogus", "--out", str(tmp_path)])

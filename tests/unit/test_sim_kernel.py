@@ -156,3 +156,71 @@ class TestTimer:
         timer.start(10.0)
         sim.run_until_idle()
         assert fired == [10.0, 20.0]
+
+
+class TestCancelledEventAccounting:
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_events == 6
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_cancel_after_run_does_not_skew_count(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        event.cancel()  # already executed; must not affect the live count
+        assert sim.pending_events == 1
+
+    def test_compaction_drops_dominating_cancelled_events(self):
+        sim = Simulator()
+        keep = 10
+        churn = 500
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(churn)]
+        for i in range(keep):
+            sim.schedule(1000.0 + i, lambda: None)
+        for event in events:
+            event.cancel()
+        # Far more cancelled entries than live ones: the heap must have been
+        # compacted down to (about) the live set, not retain all 510 entries.
+        assert sim.pending_events == keep
+        assert len(sim._queue) < churn // 2
+
+    def test_order_and_results_preserved_across_compaction(self):
+        sim = Simulator()
+        order = []
+        cancelled = []
+        for i in range(300):
+            event = sim.schedule(float(i + 1), lambda i=i: order.append(i))
+            if i % 2 == 0:
+                cancelled.append(event)
+        for event in cancelled:
+            event.cancel()
+        sim.run_until_idle()
+        assert order == [i for i in range(300) if i % 2 == 1]
+        assert sim.pending_events == 0
+
+    def test_small_cancelled_sets_are_not_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(20)]
+        for event in events[:10]:
+            event.cancel()
+        # Below the compaction floor: entries stay queued (and skipped on pop).
+        assert len(sim._queue) == 20
+        assert sim.pending_events == 10
+        sim.run_until_idle()
+        assert sim.events_processed == 10

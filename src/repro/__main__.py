@@ -7,10 +7,13 @@ prints its row table, or drives the performance harness::
     python -m repro run figure6_throughput
     python -m repro run figure_recovery --scale paper
     python -m repro run figure6_batching --protocols pbft flexi-bft
+    python -m repro live --protocol flexibft
+    python -m repro live --protocol pbft --clients 16 --requests 200
     python -m repro perf --scenarios smoke
     python -m repro perf --scenarios fig1 crypto --scale medium
     python -m repro perf --scenarios smoke --check-baseline benchmarks/baselines
     python -m repro perf --scenarios smoke --update-baseline benchmarks/baselines
+    python -m repro perf --trend collected-artifacts/
 """
 
 from __future__ import annotations
@@ -44,6 +47,26 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="restrict the experiment to these protocols "
                           "(experiments that fix their protocol ignore this)")
 
+    live = subparsers.add_parser(
+        "live", help="run one protocol on the real-time asyncio backend and "
+                     "print the same result row as the simulated backend")
+    live.add_argument("--protocol", default="flexi-bft",
+                      help="protocol to deploy (default: flexi-bft; dashes "
+                           "optional, 'flexibft' works)")
+    live.add_argument("--scale", choices=sorted(SCALES), default="small",
+                      help="experiment scale for the deployment sizing "
+                           "(default: small)")
+    live.add_argument("--clients", type=int, default=None,
+                      help="override the number of closed-loop clients")
+    live.add_argument("--batch-size", type=int, default=None,
+                      help="override the consensus batch size")
+    live.add_argument("--requests", type=int, default=None,
+                      help="stop after this many completed requests "
+                           "(default: derived from the scale's batch counts)")
+    live.add_argument("--max-seconds", type=float, default=None,
+                      help="wall-clock cap on the run (default: the scale's "
+                           "simulated-time cap)")
+
     perf = subparsers.add_parser(
         "perf", help="run performance scenarios, write BENCH_*.json, "
                      "optionally gate against committed baselines")
@@ -68,6 +91,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write fresh results into DIR as the new baselines")
     perf.add_argument("--list", action="store_true", dest="list_scenarios",
                       help="list scenarios, suites and scales, then exit")
+    perf.add_argument("--trend", default=None, metavar="DIR",
+                      help="collate the BENCH_*.json artifacts under DIR "
+                           "(recursive) into per-scenario trend tables and "
+                           "exit; no scenarios are run")
     return parser
 
 
@@ -98,10 +125,46 @@ def main(argv: Optional[list[str]] = None) -> int:
         rows = run_experiment(args.figure, args.scale, args.protocols)
         print_rows(f"{args.figure} ({args.scale} scale)", rows)
         return 0
+    if args.command == "live":
+        return run_live(args)
     if args.command == "perf":
         return run_perf(args)
     parser.print_help()
     return 2
+
+
+def run_live(args) -> int:
+    """Run one protocol on the asyncio backend and print its result row."""
+    from .protocols.registry import PROTOCOLS
+    from .realtime import run_live_point
+    from .runtime.experiments import build_config
+
+    protocol = args.protocol.lower()
+    if protocol not in PROTOCOLS:
+        # Accept dash-less spellings like "flexibft" / "flexizz".
+        matches = [name for name in PROTOCOLS
+                   if name.replace("-", "") == protocol.replace("-", "")]
+        if len(matches) != 1:
+            raise SystemExit(
+                f"unknown protocol {args.protocol!r}; known protocols: "
+                f"{', '.join(sorted(PROTOCOLS))}")
+        protocol = matches[0]
+    scale = SCALES[args.scale]
+    config = build_config(protocol, scale,
+                          num_clients=args.clients,
+                          batch_size=args.batch_size)
+    result = run_live_point(config, target_requests=args.requests,
+                            max_wall_seconds=args.max_seconds)
+    row = {"protocol": protocol, "backend": "live"}
+    row.update(result.as_row())
+    print_rows(f"live {protocol} ({args.scale} sizing, asyncio backend)", [row])
+    # A wedged backend times out with zero completions and clean safety bits
+    # (the monitors saw nothing conflicting because they saw nothing at all);
+    # completing no work is a failure, not a success.
+    if result.metrics.completed_requests == 0:
+        print("live run FAILED: no requests completed before the wall-clock cap")
+        return 1
+    return 0 if result.consensus_safe and result.rsm_safe else 1
 
 
 def _resolve_perf_selection(names: list[str],
@@ -147,6 +210,8 @@ def run_perf(args) -> int:
         load_baseline,
         result_payload,
         run_scenario,
+        tolerances_for,
+        trend_report,
         write_bench_json,
     )
     from .perf.runner import format_result
@@ -155,6 +220,11 @@ def run_perf(args) -> int:
         print("scenarios:", ", ".join(sorted(SCENARIOS)))
         print("suites:   ", ", ".join(sorted(SUITES)))
         print("scales:   ", ", ".join(sorted(PERF_SCALES)))
+        return 0
+    if args.trend:
+        if not os.path.isdir(args.trend):
+            raise SystemExit(f"--trend: {args.trend!r} is not a directory")
+        print(trend_report(args.trend))
         return 0
     selection = _resolve_perf_selection(args.scenarios, args.scale)
     calibration = calibrate()
@@ -175,8 +245,10 @@ def run_perf(args) -> int:
         failures = 0
         for payload in payloads:
             baseline = load_baseline(
-                baseline_path(args.check_baseline, payload["scenario"]))
-            comparison = compare_result(payload, baseline)
+                baseline_path(args.check_baseline, payload["scenario"],
+                              payload.get("scale")))
+            comparison = compare_result(payload, baseline,
+                                        tolerances_for(payload))
             print(format_comparison(comparison))
             if not comparison.ok:
                 failures += 1
@@ -191,7 +263,8 @@ def run_perf(args) -> int:
     if args.update_baseline:
         os.makedirs(args.update_baseline, exist_ok=True)
         for payload in payloads:
-            path = baseline_path(args.update_baseline, payload["scenario"])
+            path = baseline_path(args.update_baseline, payload["scenario"],
+                                 payload.get("scale"))
             with open(path, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")

@@ -1,0 +1,101 @@
+"""Execution-kernel interface shared by every backend.
+
+The protocol stack — replicas, clients, worker pools, trusted devices,
+durable stores and the network — never cares *which* clock drives it.  It
+needs exactly four things: the current time in microseconds, relative and
+absolute scheduling of callbacks, and cancellable handles for the events it
+schedules.  This module names that contract so two backends can implement it:
+
+* :class:`~repro.sim.kernel.Simulator` — the deterministic discrete-event
+  kernel; time is simulated and a run is a pure function of its seed.
+* :class:`~repro.realtime.kernel.AsyncioKernel` — a real asyncio event loop;
+  time is wall-clock and signing/MAC work costs what the hardware charges.
+
+Both kernels order simultaneous events by schedule order (FIFO for equal
+deadlines), honour :meth:`EventHandle.cancel`, and count executed callbacks
+in ``events_processed`` — the backend-conformance test suite pins those
+shared semantics down.
+
+:class:`Timer` lives here too: it is the one scheduling utility the protocol
+layer uses directly, and it only ever touches the :class:`Kernel` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from .common.types import Micros
+
+
+@runtime_checkable
+class EventHandle(Protocol):
+    """A scheduled callback that can be cancelled before it runs."""
+
+    #: True once the event was cancelled; a cancelled event never fires.
+    cancelled: bool
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+
+
+@runtime_checkable
+class Kernel(Protocol):
+    """The clock-and-scheduler surface every execution backend provides."""
+
+    @property
+    def now(self) -> Micros:
+        """Current time in microseconds (simulated or wall-clock)."""
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far (cancelled events excluded)."""
+
+    def schedule(self, delay: Micros, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` microseconds from now."""
+
+    def schedule_at(self, time: Micros, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at an absolute kernel time."""
+
+
+class Timer:
+    """A restartable one-shot timer bound to a kernel.
+
+    Protocol replicas use timers for request timeouts, batch timeouts and
+    view-change timeouts.  ``restart`` cancels any pending expiry and arms the
+    timer again, which is the common "reset on progress" pattern.  The timer
+    only uses the :class:`Kernel` surface, so the same replica code runs on
+    the simulator and on the live asyncio backend.
+    """
+
+    __slots__ = ("_sim", "_callback", "_event")
+
+    def __init__(self, sim: Kernel, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[EventHandle] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while an expiry is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: Micros) -> None:
+        """Arm the timer if it is not already armed."""
+        if self.armed:
+            return
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def restart(self, delay: Micros) -> None:
+        """Cancel any pending expiry and arm the timer afresh."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer; a no-op if it is not armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

@@ -12,10 +12,10 @@ delayed").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Protocol
+from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
 
 from ..common.types import Micros
-from ..sim.kernel import Simulator
+from ..kernel import Kernel
 from ..sim.rng import RngRegistry
 from .topology import Topology
 
@@ -38,6 +38,34 @@ class NetworkNode(Protocol):
 
     def receive(self, envelope: Envelope) -> None:
         """Handle a delivered message."""
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """The message-transport surface replicas and clients depend on.
+
+    :class:`Network` (discrete-event delivery on the simulator) and
+    :class:`~repro.realtime.network.LiveNetwork` (asyncio-queue delivery on
+    the live backend) both implement it; protocol code never imports a
+    concrete transport.
+    """
+
+    stats: "NetworkStats"
+
+    def register(self, node: NetworkNode) -> None:
+        """Attach a node; its ``name`` becomes its network address."""
+
+    def node(self, name: str) -> NetworkNode:
+        """Look up a registered node by name."""
+
+    def send(self, source: str, destination: str, payload: object,
+             earliest_departure: Optional[Micros] = None) -> None:
+        """Deliver ``payload`` from ``source`` to ``destination``."""
+
+    def broadcast(self, source: str, destinations: Iterable[str], payload: object,
+                  earliest_departure: Optional[Micros] = None,
+                  include_self: bool = False) -> None:
+        """Send the same payload to every destination (optionally to self)."""
 
 
 @dataclass
@@ -90,9 +118,15 @@ class NetworkStats:
 
 
 class Network:
-    """Point-to-point authenticated-channel transport over the topology."""
+    """Point-to-point authenticated-channel transport over the topology.
 
-    def __init__(self, sim: Simulator, topology: Topology,
+    Runs on any :class:`~repro.kernel.Kernel`.  Subclasses override
+    :meth:`_schedule_delivery` to change *how* a computed delivery happens
+    (the live backend enqueues onto asyncio queues) without touching the
+    rule, latency and jitter model above it.
+    """
+
+    def __init__(self, sim: Kernel, topology: Topology,
                  rng: RngRegistry, jitter_fraction: float = 0.05,
                  per_message_wire_us: Micros = 0.5) -> None:
         self._sim = sim
@@ -156,7 +190,12 @@ class Network:
         if target is None:
             self.stats.messages_dropped += 1
             return
-        self._sim.schedule_at(delivered_at, lambda: self._deliver(target, envelope))
+        self._schedule_delivery(target, envelope)
+
+    def _schedule_delivery(self, target: NetworkNode, envelope: Envelope) -> None:
+        """Arrange for ``envelope`` to reach ``target`` at its delivery time."""
+        self._sim.schedule_at(envelope.delivered_at,
+                              lambda: self._deliver(target, envelope))
 
     def broadcast(self, source: str, destinations: Iterable[str], payload: object,
                   earliest_departure: Optional[Micros] = None,

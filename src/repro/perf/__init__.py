@@ -23,6 +23,7 @@ Entry points:
 
 from .baseline import (
     DEFAULT_TOLERANCES,
+    LIVE_TOLERANCES,
     BaselineComparison,
     MetricCheck,
     Tolerance,
@@ -30,6 +31,7 @@ from .baseline import (
     compare_result,
     format_comparison,
     load_baseline,
+    tolerances_for,
 )
 from .runner import (
     ScenarioResult,
@@ -39,9 +41,11 @@ from .runner import (
     write_bench_json,
 )
 from .scenarios import PERF_SCALES, SCENARIOS, SUITES, PerfScale
+from .trend import collate_trend, format_trend, trend_report
 
 __all__ = [
     "DEFAULT_TOLERANCES",
+    "LIVE_TOLERANCES",
     "BaselineComparison",
     "MetricCheck",
     "Tolerance",
@@ -49,6 +53,7 @@ __all__ = [
     "compare_result",
     "format_comparison",
     "load_baseline",
+    "tolerances_for",
     "ScenarioResult",
     "calibrate",
     "result_payload",
@@ -58,4 +63,7 @@ __all__ = [
     "SCENARIOS",
     "SUITES",
     "PerfScale",
+    "collate_trend",
+    "format_trend",
+    "trend_report",
 ]

@@ -40,12 +40,19 @@ class Tolerance:
     more than 25% worse than the baseline (slower wall-clock, fewer
     events/sec).  ``gate=False`` metrics are reported but never fail the
     comparison — useful for noisy, machine-dependent numbers.
+
+    ``absolute_floor`` (lower-is-better metrics only): a regression beyond
+    the fractional threshold is still not a failure while the current value
+    stays at or below this absolute value — the guard that keeps a gate on a
+    tiny baseline (e.g. a 70 ms live run) from failing honest runs on a
+    slower machine while still catching runs that blow past the floor.
     """
 
     metric: str
     higher_is_better: bool
     max_regression: float
     gate: bool = True
+    absolute_floor: Optional[float] = None
 
 
 #: wall-clock gates on the calibration-normalised value (25%, per the CI
@@ -56,6 +63,35 @@ DEFAULT_TOLERANCES: tuple[Tolerance, ...] = (
     Tolerance("events_per_sec", higher_is_better=True, max_regression=0.50,
               gate=False),
 )
+
+#: live scenarios mix real injected-latency waits (machine-independent) with
+#: real Python/HMAC/event-loop work (machine-dependent), so neither raw nor
+#: calibration-normalised wall-clock is a clean cross-machine metric.  They
+#: gate on raw wall-clock with very generous headroom (4x) *and* an absolute
+#: floor: a sub-2-second run never fails regardless of the ratio, so a CI
+#: runner several times slower than the recording machine passes, while a
+#: wedged event loop runs to its multi-second cap and trips the gate
+#: unmistakably.  The gate is a hang detector, not a drift meter — drift is
+#: what ``perf --trend`` is for.
+LIVE_TOLERANCES: tuple[Tolerance, ...] = (
+    Tolerance("wall_seconds", higher_is_better=False, max_regression=3.0,
+              absolute_floor=2.0),
+    Tolerance("normalized_wall", higher_is_better=False, max_regression=3.0,
+              gate=False),
+)
+
+
+def tolerances_for(payload: dict) -> tuple[Tolerance, ...]:
+    """The tolerance set gating one fresh result payload.
+
+    Real-time scenarios are recognised by what marks them everywhere else:
+    they carry no determinism digest (see
+    :func:`repro.perf.runner.run_scenario`), so the classification cannot
+    drift out of sync with a scenario's name.
+    """
+    if not payload.get("metrics_digest"):
+        return LIVE_TOLERANCES
+    return DEFAULT_TOLERANCES
 
 
 @dataclass(frozen=True)
@@ -89,8 +125,18 @@ class BaselineComparison:
         return self.status in (OK, IMPROVED)
 
 
-def baseline_path(baseline_dir: str, scenario: str) -> str:
-    """Where the committed baseline for ``scenario`` lives."""
+def baseline_path(baseline_dir: str, scenario: str,
+                  scale: Optional[str] = None) -> str:
+    """Where the committed baseline for ``scenario`` (at ``scale``) lives.
+
+    Baselines are scale-qualified — ``BENCH_<scenario>.<scale>.json`` — so a
+    ``medium`` run gates against a committed medium baseline instead of
+    failing the smoke one with a scale mismatch.  The smoke scale (and
+    callers that do not pass a scale) keep the historical unqualified
+    ``BENCH_<scenario>.json`` name.
+    """
+    if scale and scale != "smoke":
+        return os.path.join(baseline_dir, f"BENCH_{scenario}.{scale}.json")
     return os.path.join(baseline_dir, f"BENCH_{scenario}.json")
 
 
@@ -113,7 +159,9 @@ def _check_metric(tolerance: Tolerance, baseline: dict,
         return None  # nothing meaningful to compare against
     change = (current_value - baseline_value) / baseline_value
     regression = -change if tolerance.higher_is_better else change
-    if regression > tolerance.max_regression:
+    over_floor = (tolerance.absolute_floor is None
+                  or current_value > tolerance.absolute_floor)
+    if regression > tolerance.max_regression and over_floor:
         status = REGRESSION
     elif regression < 0:
         status = IMPROVED
@@ -183,16 +231,22 @@ def compare_result(current: dict, baseline: Optional[dict],
 
 
 def compare_to_dir(results: Iterable[dict], baseline_dir: str,
-                   tolerances: Iterable[Tolerance] = DEFAULT_TOLERANCES
+                   tolerances: Optional[Iterable[Tolerance]] = None
                    ) -> list[BaselineComparison]:
-    """Compare many fresh result payloads against a baseline directory."""
-    tolerances = tuple(tolerances)
+    """Compare many fresh result payloads against a baseline directory.
+
+    Without an explicit ``tolerances`` override, each payload is gated by
+    its scenario's own tolerance set (:func:`tolerances_for`) — live
+    scenarios gate on raw wall-clock, simulated ones on normalised wall.
+    """
+    fixed = tuple(tolerances) if tolerances is not None else None
     return [
         compare_result(
             current,
             load_baseline(baseline_path(baseline_dir,
-                                        str(current.get("scenario", "?")))),
-            tolerances)
+                                        str(current.get("scenario", "?")),
+                                        current.get("scale"))),
+            fixed if fixed is not None else tolerances_for(current))
         for current in results
     ]
 

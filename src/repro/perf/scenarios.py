@@ -178,6 +178,47 @@ def scenario_sharding_scaleout(scale: PerfScale) -> list[dict]:
 
 
 # ---------------------------------------------------------------------------
+# live-backend scenario
+# ---------------------------------------------------------------------------
+#: sizing of the live smoke run; fixed across perf scales because the live
+#: backend's wall-clock is real time (latency sleeps and crypto), which the
+#: per-scale deployment sizing knobs were not designed to bound.
+_LIVE_EXPERIMENT = ExperimentScale(
+    name="live-smoke", f=1, num_clients=8, batch_size=4,
+    warmup_batches=1, measured_batches=5, worker_threads=4,
+    max_sim_seconds=30.0)
+
+#: protocols driven end to end on the asyncio backend by ``live_smoke``.
+_LIVE_PROTOCOLS = ("minbft", "flexi-bft")
+
+
+def scenario_live_smoke(scale: PerfScale) -> list[dict]:
+    """Live asyncio backend end to end: real clock, real HMAC, real replies.
+
+    Unlike every other scenario this one is *not* deterministic — it runs
+    the unchanged protocol replicas on a real event loop, so its rows hold
+    genuine wall-clock throughput/latency numbers and its result carries no
+    determinism digest (see :func:`repro.perf.runner.run_scenario`).
+    """
+    from ..realtime import run_live_point
+
+    rows = []
+    for protocol in _LIVE_PROTOCOLS:
+        config = build_config(protocol, _LIVE_EXPERIMENT)
+        result = run_live_point(config)
+        row = {"protocol": protocol, "backend": "live"}
+        row.update(result.as_row())
+        rows.append(row)
+    return rows
+
+
+scenario_live_smoke.deterministic = False
+#: the scenario runs its fixed sizing regardless of the requested PerfScale,
+#: so its results are always labeled (and baselined) as smoke scale.
+scenario_live_smoke.fixed_scale = "smoke"
+
+
+# ---------------------------------------------------------------------------
 # substrate microbenchmarks
 # ---------------------------------------------------------------------------
 def scenario_kernel(scale: PerfScale) -> list[dict]:
@@ -304,6 +345,7 @@ SCENARIOS: dict[str, object] = {
     "fig1": scenario_fig1,
     "recovery": scenario_recovery,
     "sharding_scaleout": scenario_sharding_scaleout,
+    "live_smoke": scenario_live_smoke,
     "kernel": scenario_kernel,
     "network": scenario_network,
     "crypto": scenario_crypto,
@@ -314,8 +356,13 @@ SCENARIOS: dict[str, object] = {
 #: gates on.
 SUITES: dict[str, tuple[tuple[str, str], ...]] = {
     "smoke": tuple((name, "smoke") for name in SCENARIOS),
-    "medium": tuple((name, "medium") for name in SCENARIOS),
-    "large": tuple((name, "large") for name in SCENARIOS),
+    # live_smoke ignores per-scale sizing (its live run is fixed), so the
+    # bigger suites skip it rather than re-running the same execution under
+    # a misleading scale label.
+    "medium": tuple((name, "medium") for name in SCENARIOS
+                    if name != "live_smoke"),
+    "large": tuple((name, "large") for name in SCENARIOS
+                   if name != "live_smoke"),
 }
 
 

@@ -1,0 +1,158 @@
+"""Collate ``BENCH_*.json`` artifacts into per-scenario trend tables.
+
+The CI perf gate is tolerant by design (fail only beyond 25% regression), so
+a sequence of 5%-per-PR slowdowns sails through every individual check while
+compounding into a real regression.  The trend view makes that creep
+visible: point it at a directory of collected ``BENCH_*.json`` artifacts
+(e.g. the per-run artifact downloads of the perf CI job, one subdirectory
+per run) and it groups them by ``(scenario, scale)``, orders them by their
+recorded timestamp, and reports each run's drift against the previous run
+and against the oldest one.
+
+Entry point: ``python -m repro perf --trend DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One BENCH artifact reduced to the fields the trend table shows."""
+
+    path: str
+    scenario: str
+    scale: str
+    recorded_at: str
+    wall_seconds: float
+    normalized_wall: float
+    events: int
+    metrics_digest: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.scenario, self.scale)
+
+
+@dataclass(frozen=True)
+class TrendRow:
+    """One trend-table line: a point plus its drift against its neighbours."""
+
+    point: TrendPoint
+    #: fractional change of ``normalized_wall`` vs the previous point
+    #: (positive = slower); None for the first point of a series.
+    vs_previous: Optional[float]
+    #: fractional change of ``normalized_wall`` vs the series' first point.
+    vs_first: Optional[float]
+    #: whether the determinism digest changed relative to the previous point.
+    digest_changed: bool
+
+
+def find_bench_files(root: str) -> list[str]:
+    """All ``BENCH_*.json`` files under ``root`` (recursive, sorted)."""
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in filenames:
+            if filename.startswith("BENCH_") and filename.endswith(".json"):
+                found.append(os.path.join(dirpath, filename))
+    return sorted(found)
+
+
+def load_points(paths: Iterable[str]) -> list[TrendPoint]:
+    """Parse artifacts into trend points; unreadable files are skipped."""
+    points = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if "scenario" not in payload:
+            continue
+        environment = payload.get("environment") or {}
+        points.append(TrendPoint(
+            path=path,
+            scenario=str(payload.get("scenario")),
+            scale=str(payload.get("scale", "?")),
+            recorded_at=str(environment.get("recorded_at", "")),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            normalized_wall=float(payload.get("normalized_wall", 0.0)),
+            events=int(payload.get("events", 0)),
+            metrics_digest=str(payload.get("metrics_digest", "")),
+        ))
+    return points
+
+
+def collate_trend(points: Iterable[TrendPoint]) -> dict[tuple[str, str], list[TrendRow]]:
+    """Group points by (scenario, scale) and compute per-series drift.
+
+    Points are ordered by ``recorded_at`` (ISO-8601 strings sort
+    chronologically); artifacts without a timestamp sort first, in path
+    order, so nothing is silently dropped.
+    """
+    series: dict[tuple[str, str], list[TrendPoint]] = {}
+    for point in points:
+        series.setdefault(point.key, []).append(point)
+    trends: dict[tuple[str, str], list[TrendRow]] = {}
+    for key, group in sorted(series.items()):
+        group = sorted(group, key=lambda p: (p.recorded_at, p.path))
+        rows: list[TrendRow] = []
+        first = group[0]
+        previous: Optional[TrendPoint] = None
+        for point in group:
+            rows.append(TrendRow(
+                point=point,
+                vs_previous=_drift(previous, point),
+                vs_first=_drift(first, point) if point is not first else None,
+                digest_changed=(previous is not None
+                                and bool(point.metrics_digest)
+                                and bool(previous.metrics_digest)
+                                and point.metrics_digest != previous.metrics_digest),
+            ))
+            previous = point
+        trends[key] = rows
+    return trends
+
+
+def _drift(reference: Optional[TrendPoint], point: TrendPoint) -> Optional[float]:
+    if reference is None or reference.normalized_wall <= 0:
+        return None
+    return (point.normalized_wall - reference.normalized_wall) / reference.normalized_wall
+
+
+def format_trend(trends: dict[tuple[str, str], list[TrendRow]]) -> str:
+    """Human-readable trend report, one table per (scenario, scale)."""
+    if not trends:
+        return "no BENCH_*.json artifacts found"
+    lines: list[str] = []
+    for (scenario, scale), rows in trends.items():
+        lines.append(f"== {scenario} ({scale}) — {len(rows)} run(s) ==")
+        lines.append(f"    {'recorded_at':<22} {'norm_wall':>10} {'wall_s':>9} "
+                     f"{'vs_prev':>8} {'vs_first':>9}  notes")
+        for row in rows:
+            point = row.point
+            lines.append(
+                f"    {point.recorded_at or '(no timestamp)':<22} "
+                f"{point.normalized_wall:>10.4f} {point.wall_seconds:>9.3f} "
+                f"{_percent(row.vs_previous):>8} {_percent(row.vs_first):>9}"
+                f"  {'digest changed' if row.digest_changed else ''}".rstrip())
+        total = rows[-1].vs_first
+        if total is not None:
+            direction = "slower" if total > 0 else "faster"
+            lines.append(f"    net drift: {abs(total) * 100.0:.1f}% {direction} "
+                         "than the oldest run")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _percent(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value * 100.0:+.1f}%"
+
+
+def trend_report(root: str) -> str:
+    """Scan ``root`` for artifacts and return the formatted trend report."""
+    return format_trend(collate_trend(load_points(find_bench_files(root))))

@@ -43,10 +43,10 @@ from ..crypto.signatures import Signature, SigningKey
 from ..execution.ledger import ExecutedBatch, Ledger
 from ..execution.safety import SafetyMonitor
 from ..execution.state_machine import OperationResult, StateMachine
-from ..net.network import Envelope, Network
+from ..net.network import Envelope, Transport
 from ..recovery.store import DurableStore
 from ..recovery.transfer import StateTransferSession
-from ..sim.kernel import Simulator, Timer
+from ..kernel import Kernel, Timer
 from ..sim.resources import SerialDevice, WorkerPool
 from ..trusted.attestation import verify_attestation
 from ..trusted.component import TrustedComponentHost
@@ -84,8 +84,8 @@ _CONSENSUS_OUTBOUND = (PrePrepare, Prepare, Commit, Checkpoint, ViewChange,
 class ReplicaContext:
     """Everything a replica needs from its deployment."""
 
-    sim: Simulator
-    network: Network
+    sim: Kernel
+    network: Transport
     keystore: KeyStore
     crypto_costs: CryptoCostModel
     protocol_config: ProtocolConfig

@@ -1,0 +1,127 @@
+"""Live deployment: the simulated deployment builder on a real event loop.
+
+:class:`LiveDeployment` subclasses :class:`~repro.runtime.deployment.Deployment`
+so the entire build path — replicas, worker pools, trusted components and
+their serial devices, durable stores, closed-loop clients — is *identical* to
+the simulated one; only the kernel (an :class:`AsyncioKernel`) and the
+transport (a :class:`LiveNetwork`) differ.  Replica and client code cannot
+tell which backend it runs on, which is the point: the protocol logic being
+measured live is byte-for-byte the logic the simulator validates.
+
+What changes semantically:
+
+* ``now`` is wall-clock, so throughput/latency rows report *real* numbers —
+  including the real cost of HMAC-SHA256 signing and MAC generation, which
+  the simulator only models.
+* Modeled CPU/device costs (worker service times, trusted-device latencies,
+  fsync latencies) are paid as real event-loop delays, so the paper's cost
+  structure shapes live runs the same way it shapes simulated ones.
+* Runs are not deterministic: the OS scheduler is part of the system now.
+
+The run/collect API mirrors the simulated deployment and produces the same
+:class:`~repro.runtime.deployment.RunResult` rows, so every existing
+analysis, table and figure path accepts live results unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..common.config import DeploymentConfig
+from ..common.types import Micros
+from ..net.topology import Topology
+from ..runtime.deployment import (
+    Deployment,
+    RunResult,
+    measurement_warmup_fraction,
+)
+from .kernel import AsyncioKernel
+from .network import LiveNetwork
+
+
+class LiveDeployment(Deployment):
+    """A fully wired live deployment of one protocol on an asyncio loop."""
+
+    def __init__(self, config: DeploymentConfig, **kwargs) -> None:
+        kernel = kwargs.pop("sim", None)
+        if kernel is None:
+            kernel = AsyncioKernel()
+        super().__init__(config, sim=kernel, **kwargs)
+        self.kernel: AsyncioKernel = kernel
+
+    # ------------------------------------------------------------- building
+    def _build_network(self, topology: Topology) -> LiveNetwork:
+        config = self.config
+        return LiveNetwork(self.sim, topology, self.rng,
+                           jitter_fraction=config.network.jitter_fraction,
+                           per_message_wire_us=config.network.per_message_wire_us)
+
+    # -------------------------------------------------------------- running
+    def run_until_target(self, target_requests: Optional[int] = None,
+                         max_sim_time_us: Optional[Micros] = None) -> RunResult:
+        """Run until ``target_requests`` complete (or the wall-clock cap).
+
+        ``max_sim_time_us`` bounds *wall-clock* time here — on the live
+        backend the two are the same clock.
+        """
+        experiment = self.config.experiment
+        if target_requests is None:
+            target_requests = ((experiment.warmup_batches + experiment.measured_batches)
+                               * self.protocol_config.batch_size)
+        if max_sim_time_us is None:
+            max_sim_time_us = experiment.max_sim_time_us
+        self.start_clients()
+        self.kernel.run_until(
+            lambda: self.metrics.completed_count >= target_requests,
+            max_wall_seconds=max_sim_time_us / 1_000_000.0)
+        self.stop_clients()
+        return self.collect_result(measurement_warmup_fraction(experiment))
+
+    def run_for(self, duration_us: Micros) -> RunResult:
+        """Run for a fixed amount of wall-clock time."""
+        self.start_clients()
+        self.kernel.run_for(duration_us)
+        self.stop_clients()
+        return self.collect_result(warmup_fraction=0.0)
+
+    def stop_clients(self) -> None:
+        """Stop every client's closed loop (outstanding requests abandoned)."""
+        for client in self.clients:
+            client.stop()
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Tear down pump tasks and close the owned event loop."""
+        self.stop_clients()
+        tasks = self.network.close()
+        # Drop any backlog of due events first: awaiting the cancelled pump
+        # tasks runs the loop again, and a run that ended on its wall-clock
+        # cap (or an error) must not drain queued protocol callbacks into a
+        # deployment that has already collected its result.
+        self.kernel.cancel_pending()
+        loop = self.kernel.loop
+        if tasks and not loop.is_closed():
+            loop.run_until_complete(
+                asyncio.gather(*tasks, return_exceptions=True))
+        self.kernel.close()
+
+    def __enter__(self) -> "LiveDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_live_point(config: DeploymentConfig,
+                   target_requests: Optional[int] = None,
+                   max_wall_seconds: Optional[float] = None) -> RunResult:
+    """Build, run and tear down one live deployment; returns its result."""
+    deployment = LiveDeployment(config)
+    try:
+        cap_us = (None if max_wall_seconds is None
+                  else max_wall_seconds * 1_000_000.0)
+        return deployment.run_until_target(target_requests=target_requests,
+                                           max_sim_time_us=cap_us)
+    finally:
+        deployment.close()

@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..common.types import Micros, SeqNum, ViewNum
-from ..sim.kernel import Simulator
+from ..kernel import Kernel
 from ..sim.resources import SerialDevice
 
 if TYPE_CHECKING:  # imported for annotations only; avoids a layering cycle
@@ -76,7 +76,7 @@ class DurableStoreStats:
 class DurableStore:
     """The durable storage of one replica seat."""
 
-    def __init__(self, name: str, sim: Simulator, config: "RecoveryConfig") -> None:
+    def __init__(self, name: str, sim: Kernel, config: "RecoveryConfig") -> None:
         self.name = name
         self.config = config
         self.disk = SerialDevice(sim, config.fsync_latency_us,

@@ -27,8 +27,9 @@ from ..common.types import ConsensusMode, Micros
 from ..crypto.keystore import KeyStore
 from ..execution.kvstore import KeyValueStore
 from ..execution.safety import SafetyMonitor
+from ..kernel import Kernel
 from ..net.network import Network
-from ..net.topology import build_topology
+from ..net.topology import Topology, build_topology
 from ..protocols.base import BaseReplica, ReplicaContext
 from ..protocols.registry import ProtocolSpec, get_protocol
 from ..recovery.schedule import FaultSchedule
@@ -94,7 +95,7 @@ class Deployment:
     def __init__(self, config: DeploymentConfig,
                  replica_factory: Optional[ReplicaFactory] = None,
                  spec: Optional[ProtocolSpec] = None,
-                 sim: Optional[Simulator] = None,
+                 sim: Optional[Kernel] = None,
                  rng: Optional[RngRegistry] = None,
                  keystore: Optional[KeyStore] = None,
                  name_prefix: str = "",
@@ -128,9 +129,7 @@ class Deployment:
                                   config.network.region_names,
                                   config.network.intra_region_latency_us)
         self.topology = topology
-        self.network = Network(self.sim, topology, self.rng,
-                               jitter_fraction=config.network.jitter_fraction,
-                               per_message_wire_us=config.network.per_message_wire_us)
+        self.network = self._build_network(topology)
 
         byzantine = set(config.faults.byzantine)
         crashed = set(config.faults.crashed)
@@ -174,6 +173,13 @@ class Deployment:
             self.network.register(client)
 
     # ------------------------------------------------------------- building
+    def _build_network(self, topology: Topology) -> Network:
+        """Build the transport; the live backend overrides this hook."""
+        config = self.config
+        return Network(self.sim, topology, self.rng,
+                       jitter_fraction=config.network.jitter_fraction,
+                       per_message_wire_us=config.network.per_message_wire_us)
+
     def _build_replica(self, replica_id: int,
                        replica_factory: Optional[ReplicaFactory],
                        trusted_override: Optional[TrustedComponentHost] = None

@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..common.errors import ConfigurationError
 from ..common.types import Micros
-from ..crypto.keystore import KeyStore
+from ..crypto.keystore import KeyStore, KeyStoreStats
 from ..recovery.schedule import FaultSchedule
 from ..runtime.deployment import (
     Deployment,
@@ -56,6 +56,23 @@ class ShardedRunResult:
         return row
 
 
+def shard_scope(identity: str) -> Optional[int]:
+    """Shard index owning a signer identity, or ``None`` for global names.
+
+    Group members are named ``shard<K>/replica-<i>`` (their trusted
+    components ``tc/shard<K>/replica-<i>``); cross-shard clients are global
+    and attributed to no shard.
+    """
+    name = identity[3:] if identity.startswith("tc/") else identity
+    if not name.startswith("shard"):
+        return None
+    head = name.split("/", 1)[0]
+    try:
+        return int(head[len("shard"):])
+    except ValueError:
+        return None
+
+
 class ShardedDeployment:
     """*K* consensus groups over a partitioned keyspace in one simulator."""
 
@@ -68,6 +85,10 @@ class ShardedDeployment:
         base_seed = config.base.experiment.seed
         self.rng = RngRegistry(base_seed)
         self.keystore = KeyStore(seed=base_seed)
+        # The verification cache is deployment-global but shared by every
+        # group: attribute its traffic to the signer's shard so contention
+        # is measurable before deciding whether to split the cache.
+        self.keystore.set_scope_resolver(shard_scope)
         self.router = ShardRouter(config.num_shards, seed=config.router_seed)
         self.metrics = ShardedMetrics(config.num_shards)
 
@@ -142,7 +163,9 @@ class ShardedDeployment:
             for group in self.groups for replica in group.replicas
             if replica.trusted is not None)
         return ShardedRunResult(
-            metrics=self.metrics.summarise(warmup_fraction),
+            metrics=self.metrics.summarise(
+                warmup_fraction,
+                shard_verify_cache=self.shard_verify_cache()),
             sim_time_s=self.sim.now / 1_000_000.0,
             events=self.sim.events_processed,
             messages_sent=sum(g.network.stats.messages_sent for g in self.groups),
@@ -155,6 +178,15 @@ class ShardedDeployment:
         )
 
     # ----------------------------------------------------------- inspection
+    def shard_verify_cache(self) -> tuple[KeyStoreStats, ...]:
+        """Per-shard counter snapshots of the shared verification cache."""
+        empty = KeyStoreStats()
+        return tuple(
+            KeyStoreStats(verify_cache_hits=stats.verify_cache_hits,
+                          verify_cache_misses=stats.verify_cache_misses)
+            for stats in (self.keystore.scoped_stats.get(shard, empty)
+                          for shard in range(self.num_shards)))
+
     def group(self, shard: int) -> Deployment:
         """The consensus group serving ``shard``."""
         return self.groups[shard]

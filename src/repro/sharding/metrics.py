@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..crypto.keystore import KeyStoreStats
 from ..runtime.metrics import MetricsCollector, RunMetrics
 
 
@@ -23,10 +24,30 @@ class ShardedRunMetrics:
     #: hottest shard's completed operations divided by the per-shard mean;
     #: 1.0 is a perfectly balanced partition.
     imbalance: float
+    #: per-shard verification-cache counter snapshots of the shared
+    #: deployment-global KeyStore, attributed by signer group.  Deliberately
+    #: *not* part of :meth:`as_row`: the row schema (and hence the perf
+    #: harness's determinism digests) stays unchanged; this field exists to
+    #: measure shared-cache contention at high shard counts.
+    shard_verify_cache: tuple[KeyStoreStats, ...] = ()
 
     @property
     def num_shards(self) -> int:
         return len(self.shard_metrics)
+
+    @property
+    def shard_verify_hit_rates(self) -> tuple[float, ...]:
+        """Per-shard verification-cache hit rate (empty when unattributed)."""
+        return tuple(stats.hit_rate for stats in self.shard_verify_cache)
+
+    def verify_cache_report(self) -> list[dict]:
+        """Per-shard cache-effectiveness rows (for printing/analysis)."""
+        return [
+            {"shard": shard, "verify_cache_hits": stats.verify_cache_hits,
+             "verify_cache_misses": stats.verify_cache_misses,
+             "verify_hit_rate": round(stats.hit_rate, 4)}
+            for shard, stats in enumerate(self.shard_verify_cache)
+        ]
 
     @property
     def aggregate_throughput_tx_s(self) -> float:
@@ -70,7 +91,9 @@ class ShardedMetrics:
         return self.shard_collectors[shard].completed_count
 
     # -------------------------------------------------------------- summary
-    def summarise(self, warmup_fraction: float = 0.1) -> ShardedRunMetrics:
+    def summarise(self, warmup_fraction: float = 0.1,
+                  shard_verify_cache: tuple[KeyStoreStats, ...] = ()
+                  ) -> ShardedRunMetrics:
         """Summaries for the global view and every shard, plus imbalance."""
         shard_metrics = tuple(collector.summarise(warmup_fraction)
                               for collector in self.shard_collectors)
@@ -81,4 +104,5 @@ class ShardedMetrics:
             global_metrics=self.global_collector.summarise(warmup_fraction),
             shard_metrics=shard_metrics,
             imbalance=imbalance,
+            shard_verify_cache=shard_verify_cache,
         )

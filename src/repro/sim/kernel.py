@@ -9,6 +9,11 @@ experiment and predictability matters more than features.
 Two runs with the same configuration execute the same events in the same
 order; every source of randomness in the library draws from seeded
 ``random.Random`` streams created by :class:`~repro.sim.rng.RngRegistry`.
+
+:class:`Simulator` is one of two implementations of the
+:class:`repro.kernel.Kernel` interface (the other is the live
+:class:`~repro.realtime.kernel.AsyncioKernel`); :class:`repro.kernel.Timer`
+is re-exported here for backwards compatibility.
 """
 
 from __future__ import annotations
@@ -20,6 +25,9 @@ from typing import Callable, Optional
 
 from ..common.errors import SimulationError
 from ..common.types import Micros
+from ..kernel import Timer
+
+__all__ = ["Event", "Simulator", "Timer"]
 
 
 @dataclass(order=True, slots=True)
@@ -160,45 +168,3 @@ class Simulator:
     def run_until_idle(self, max_events: Optional[int] = None) -> Micros:
         """Run until no events remain; convenience wrapper around :meth:`run`."""
         return self.run(until=None, max_events=max_events)
-
-
-class Timer:
-    """A restartable one-shot timer bound to a simulator.
-
-    Protocol replicas use timers for request timeouts, batch timeouts and
-    view-change timeouts.  ``restart`` cancels any pending expiry and arms the
-    timer again, which is the common "reset on progress" pattern.
-    """
-
-    __slots__ = ("_sim", "_callback", "_event")
-
-    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
-        self._sim = sim
-        self._callback = callback
-        self._event: Optional[Event] = None
-
-    @property
-    def armed(self) -> bool:
-        """True while an expiry is pending."""
-        return self._event is not None and not self._event.cancelled
-
-    def start(self, delay: Micros) -> None:
-        """Arm the timer if it is not already armed."""
-        if self.armed:
-            return
-        self._event = self._sim.schedule(delay, self._fire)
-
-    def restart(self, delay: Micros) -> None:
-        """Cancel any pending expiry and arm the timer afresh."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
-
-    def cancel(self) -> None:
-        """Disarm the timer; a no-op if it is not armed."""
-        if self._event is not None:
-            self._event.cancel()
-            self._event = None
-
-    def _fire(self) -> None:
-        self._event = None
-        self._callback()

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..common.types import Micros
-from .kernel import Simulator
+from ..kernel import Kernel
 
 
 @dataclass(slots=True)
@@ -64,7 +64,7 @@ class WorkerPool:
 
     __slots__ = ("_sim", "_workers", "_busy", "_queue", "_stats", "name")
 
-    def __init__(self, sim: Simulator, workers: int, name: str = "workers") -> None:
+    def __init__(self, sim: Kernel, workers: int, name: str = "workers") -> None:
         if workers <= 0:
             raise ValueError("a worker pool needs at least one worker")
         self._sim = sim
@@ -130,7 +130,7 @@ class SerialDevice:
 
     __slots__ = ("_sim", "_latency", "_available_at", "_stats", "name")
 
-    def __init__(self, sim: Simulator, access_latency_us: Micros,
+    def __init__(self, sim: Kernel, access_latency_us: Micros,
                  name: str = "trusted-device") -> None:
         if access_latency_us < 0:
             raise ValueError("device latency cannot be negative")

@@ -25,7 +25,7 @@ from ..common.config import WorkloadConfig
 from ..common.errors import ConfigurationError, SimulationError
 from ..common.types import Micros, RequestId, ViewNum
 from ..crypto.keystore import KeyStore
-from ..net.network import Envelope, Network
+from ..net.network import Envelope, Transport
 from ..protocols.messages import (
     ClientRequest,
     CommitAck,
@@ -36,7 +36,7 @@ from ..protocols.messages import (
     with_signature,
 )
 from ..protocols.registry import ReplyPolicy
-from ..sim.kernel import Simulator, Timer
+from ..kernel import Kernel, Timer
 from .ycsb import YcsbWorkload
 
 
@@ -73,7 +73,7 @@ class _PendingRequest:
 class Client:
     """One closed-loop client driving the replicated service."""
 
-    def __init__(self, name: str, sim: Simulator, network: Network,
+    def __init__(self, name: str, sim: Kernel, network: Transport,
                  keystore: KeyStore, workload: Optional[YcsbWorkload],
                  workload_config: WorkloadConfig,
                  replica_names: list[str], f: int,

@@ -128,3 +128,65 @@ class TestShardedMetrics:
         summary = ShardedMetrics(num_shards=3).summarise()
         assert summary.imbalance == 0.0
         assert summary.aggregate_throughput_tx_s == 0.0
+
+
+class TestPerShardVerifyCacheStats:
+    """The shared KeyStore attributes cache traffic to the signer's shard."""
+
+    def build(self, num_shards=2):
+        from repro.runtime.experiments import ExperimentScale, build_sharded_config
+        from repro.sharding.deployment import build_sharded_deployment
+
+        scale = ExperimentScale(
+            name="verify-cache-test", f=1, num_clients=8, batch_size=4,
+            warmup_batches=1, measured_batches=3, worker_threads=4,
+            max_sim_seconds=10.0)
+        config = build_sharded_config("minbft", scale, num_shards=num_shards)
+        return build_sharded_deployment(config)
+
+    def test_scope_resolver_maps_group_identities(self):
+        from repro.sharding.deployment import shard_scope
+
+        assert shard_scope("shard0/replica-1") == 0
+        assert shard_scope("shard3/replica-0") == 3
+        assert shard_scope("tc/shard2/replica-1") == 2
+        assert shard_scope("client-5") is None
+        assert shard_scope("shardX/replica-1") is None
+
+    def test_run_attributes_cache_traffic_per_shard(self):
+        deployment = self.build(num_shards=2)
+        result = deployment.run_until_target()
+        cache = result.metrics.shard_verify_cache
+        assert len(cache) == 2
+        assert all(stats.lookups > 0 for stats in cache)
+        rates = result.metrics.shard_verify_hit_rates
+        assert len(rates) == 2
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+        assert rates == tuple(stats.hit_rate for stats in cache)
+        report = result.metrics.verify_cache_report()
+        assert [row["shard"] for row in report] == [0, 1]
+        # The per-scope split must tally with what the shared store counted
+        # for group identities (global client traffic is unattributed).
+        store = deployment.keystore
+        assert (sum(s.verify_cache_hits for s in cache)
+                <= store.stats.verify_cache_hits)
+        assert (sum(s.verify_cache_misses for s in cache)
+                <= store.stats.verify_cache_misses)
+
+    def test_row_schema_is_unchanged_by_cache_stats(self):
+        deployment = self.build(num_shards=2)
+        row = deployment.run_until_target().as_row()
+        assert not any("verify" in key for key in row)
+
+    def test_single_group_deployments_pay_nothing(self):
+        from repro.runtime.experiments import ExperimentScale, build_config
+        from repro.runtime.deployment import Deployment
+
+        scale = ExperimentScale(
+            name="verify-cache-test", f=1, num_clients=4, batch_size=4,
+            warmup_batches=1, measured_batches=2, worker_threads=4,
+            max_sim_seconds=10.0)
+        deployment = Deployment(build_config("minbft", scale))
+        deployment.run_until_target()
+        # No resolver installed: the per-scope dict stays empty.
+        assert deployment.keystore.scoped_stats == {}

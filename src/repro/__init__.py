@@ -59,13 +59,16 @@ from .recovery import (
     partition_at,
     restart_at,
 )
+from .backends import BACKENDS, Backend, resolve_backend
 from .runtime import (
     Deployment,
+    DeploymentSpec,
     ExperimentScale,
     PAPER_SCALE,
     RunResult,
     SMALL_SCALE,
     build_deployment,
+    build_from_spec,
 )
 from .sharding import (
     ShardRouter,
@@ -78,9 +81,12 @@ from .sharding import (
 __version__ = "1.2.0"
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
     "CryptoCostModel",
     "Deployment",
     "DeploymentConfig",
+    "DeploymentSpec",
     "DurableStore",
     "ExperimentConfig",
     "ExperimentScale",
@@ -106,6 +112,7 @@ __all__ = [
     "WorkloadConfig",
     "__version__",
     "build_deployment",
+    "build_from_spec",
     "build_sharded_deployment",
     "compare_responsiveness",
     "compare_restart_rollback_hardware",
@@ -116,6 +123,7 @@ __all__ = [
     "heal_at",
     "partition_at",
     "protocol_names",
+    "resolve_backend",
     "restart_at",
     "run_responsiveness_attack",
     "run_restart_rollback_attack",

@@ -9,6 +9,8 @@ prints its row table, or drives the performance harness::
     python -m repro run figure6_batching --protocols pbft flexi-bft
     python -m repro live --protocol flexibft
     python -m repro live --protocol pbft --clients 16 --requests 200
+    python -m repro live --backend tcp --sharded
+    python -m repro live --backend tcp --sharded --shards 4 --protocol minbft
     python -m repro perf --scenarios smoke
     python -m repro perf --scenarios fig1 crypto --scale medium
     python -m repro perf --scenarios smoke --check-baseline benchmarks/baselines
@@ -48,11 +50,22 @@ def _build_parser() -> argparse.ArgumentParser:
                           "(experiments that fix their protocol ignore this)")
 
     live = subparsers.add_parser(
-        "live", help="run one protocol on the real-time asyncio backend and "
-                     "print the same result row as the simulated backend")
+        "live", help="run one protocol on a real-time backend (asyncio "
+                     "queues or localhost TCP, plain or sharded) and print "
+                     "the same result row as the simulated backend")
     live.add_argument("--protocol", default="flexi-bft",
                       help="protocol to deploy (default: flexi-bft; dashes "
                            "optional, 'flexibft' works)")
+    live.add_argument("--backend", default="live",
+                      help="execution backend: 'live'/'asyncio' (in-process "
+                           "queues, default) or 'live-tcp'/'tcp' "
+                           "(length-prefixed frames over localhost sockets)")
+    live.add_argument("--sharded", action="store_true",
+                      help="run a sharded deployment (multiple consensus "
+                           "groups driven by cross-shard clients)")
+    live.add_argument("--shards", type=int, default=2,
+                      help="number of consensus groups with --sharded "
+                           "(default: 2)")
     live.add_argument("--scale", choices=sorted(SCALES), default="small",
                       help="experiment scale for the deployment sizing "
                            "(default: small)")
@@ -73,7 +86,8 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--scenarios", nargs="+", metavar="NAME",
                       default=["smoke"],
                       help="scenario names (fig1, recovery, sharding_scaleout, "
-                           "kernel, network, crypto) and/or suite names "
+                           "live_smoke, live_fig1, live_recovery, kernel, "
+                           "network, crypto) and/or suite names "
                            "(smoke, medium, large); default: smoke")
     perf.add_argument("--scale", default=None,
                       help="run every selected scenario (and suite) at this "
@@ -134,10 +148,17 @@ def main(argv: Optional[list[str]] = None) -> int:
 
 
 def run_live(args) -> int:
-    """Run one protocol on the asyncio backend and print its result row."""
+    """Run one protocol on a real-time backend and print its result row.
+
+    Every reply a client accepts is HMAC-verified against the replicas'
+    keys (a forged or unsigned reply fails the run), so a passing live run
+    certifies end-to-end authenticity, not just liveness.
+    """
+    from .backends import resolve_backend
     from .protocols.registry import PROTOCOLS
-    from .realtime import run_live_point
+    from .realtime import ReplyVerifier
     from .runtime.experiments import build_config
+    from .runtime.spec import DeploymentSpec
 
     protocol = args.protocol.lower()
     if protocol not in PROTOCOLS:
@@ -149,20 +170,43 @@ def run_live(args) -> int:
                 f"unknown protocol {args.protocol!r}; known protocols: "
                 f"{', '.join(sorted(PROTOCOLS))}")
         protocol = matches[0]
+    backend = resolve_backend(args.backend)
+    if not backend.realtime:
+        raise SystemExit(f"'repro live' needs a real-time backend; "
+                         f"{args.backend!r} is the simulator")
     scale = SCALES[args.scale]
     config = build_config(protocol, scale,
                           num_clients=args.clients,
                           batch_size=args.batch_size)
-    result = run_live_point(config, target_requests=args.requests,
-                            max_wall_seconds=args.max_seconds)
-    row = {"protocol": protocol, "backend": "live"}
+    spec = DeploymentSpec(config, backend=backend,
+                          num_shards=args.shards if args.sharded else None)
+    cap_us = (None if args.max_seconds is None
+              else args.max_seconds * 1_000_000.0)
+    deployment = spec.build()
+    try:
+        verifier = ReplyVerifier(deployment)
+        result = deployment.run_until_target(target_requests=args.requests,
+                                             max_sim_time_us=cap_us)
+    finally:
+        deployment.close()
+    row = {"protocol": protocol, "backend": backend.name}
+    if args.sharded:
+        completed = result.metrics.global_metrics.completed_requests
+    else:
+        completed = result.metrics.completed_requests
     row.update(result.as_row())
-    print_rows(f"live {protocol} ({args.scale} sizing, asyncio backend)", [row])
+    shape = f"{args.shards} shards" if args.sharded else "single group"
+    print_rows(f"live {protocol} ({args.scale} sizing, {backend.name} "
+               f"backend, {shape})", [row])
+    print(f"client replies HMAC-verified: {verifier.verified}")
     # A wedged backend times out with zero completions and clean safety bits
     # (the monitors saw nothing conflicting because they saw nothing at all);
     # completing no work is a failure, not a success.
-    if result.metrics.completed_requests == 0:
+    if completed == 0:
         print("live run FAILED: no requests completed before the wall-clock cap")
+        return 1
+    if verifier.verified == 0:
+        print("live run FAILED: no client reply was verified")
         return 1
     return 0 if result.consensus_safe and result.rsm_safe else 1
 

@@ -12,6 +12,7 @@ delayed").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterable, Optional, Protocol, runtime_checkable
 
 from ..common.types import Micros
@@ -194,8 +195,10 @@ class Network:
 
     def _schedule_delivery(self, target: NetworkNode, envelope: Envelope) -> None:
         """Arrange for ``envelope`` to reach ``target`` at its delivery time."""
+        # partial, not a lambda: in-flight deliveries must survive a deepcopy
+        # of the deployment (warmed-snapshot reuse in recovery experiments).
         self._sim.schedule_at(envelope.delivered_at,
-                              lambda: self._deliver(target, envelope))
+                              partial(self._deliver, target, envelope))
 
     def broadcast(self, source: str, destinations: Iterable[str], payload: object,
                   earliest_departure: Optional[Micros] = None,

@@ -1,0 +1,182 @@
+"""TCP message transport: length-prefixed frames over localhost sockets.
+
+:class:`TcpTransport` subclasses the simulated :class:`~repro.net.network.Network`,
+inheriting the whole latency model — topology distances, jitter, per-message
+wire time and adversarial :class:`~repro.net.network.MessageRule` handling —
+and overrides only *how* a computed delivery happens: the envelope is pickled
+into a 4-byte-length-prefixed frame, written to a real TCP connection on
+``127.0.0.1``, read back by the transport's accept loop, and handed to the
+kernel scheduler for delivery at its injected ``delivered_at`` time.
+
+This is the ``_schedule_delivery`` seam the in-process
+:class:`~repro.realtime.network.LiveNetwork` deliberately left open: the
+asyncio-queue ``put_nowait`` becomes a socket write, and nothing above the
+seam — replicas, clients, the deployment builder, the latency model —
+changes.  What the hop buys is a *real serialization boundary*: every payload
+crosses the wire as bytes, so the receiving replica operates on a
+deserialized copy, exactly as a multi-process deployment would, and framing
+or picklability bugs surface here instead of in a future distributed runner.
+
+Ordering matches the queue transport: one connection per destination, so
+frames to the same destination arrive FIFO, and the kernel's ``(time, seq)``
+heap applies the injected latency without head-of-line blocking.  If the
+real socket transit ever exceeds the injected latency (tiny topologies on a
+loaded machine), delivery happens as soon as the frame arrives — the
+transport never delivers *earlier* than the model says.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from functools import partial
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .network import Envelope, Network, NetworkNode
+
+if TYPE_CHECKING:
+    from ..realtime.kernel import AsyncioKernel
+
+#: frame header: one unsigned big-endian 32-bit payload length.
+_HEADER = struct.Struct(">I")
+
+
+class TcpTransport(Network):
+    """Point-to-point transport over localhost TCP with injected latency."""
+
+    def __init__(self, sim: "AsyncioKernel", *args, **kwargs) -> None:
+        super().__init__(sim, *args, **kwargs)
+        self._kernel = sim
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._port: Optional[int] = None
+        self._server_ready: Optional[asyncio.Event] = None
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._tasks: List[asyncio.Task] = []
+        self._writers: List[asyncio.StreamWriter] = []
+        self._closed = False
+
+    # ------------------------------------------------------------- delivery
+    def _schedule_delivery(self, target: NetworkNode, envelope: Envelope) -> None:
+        """Frame the envelope and queue it for its destination's connection."""
+        if self._closed:
+            self.stats.messages_dropped += 1
+            return
+        queue = self._queues.get(envelope.destination)
+        if queue is None:
+            loop = self._kernel.loop
+            if self._server_ready is None:
+                self._server_ready = asyncio.Event()
+                self._tasks.append(loop.create_task(
+                    self._serve(), name="tcp-server"))
+            queue = asyncio.Queue()
+            self._queues[envelope.destination] = queue
+            self._tasks.append(loop.create_task(
+                self._send_loop(queue), name=f"tcp-send/{envelope.destination}"))
+        queue.put_nowait(envelope)
+
+    async def _serve(self) -> None:
+        """Accept loop: bind an ephemeral localhost port, read frames forever."""
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, host="127.0.0.1", port=0)
+        except BaseException as exc:  # noqa: BLE001 — surfaced via the kernel
+            self._kernel.fail(exc)
+            raise
+        self._server = server
+        self._port = server.sockets[0].getsockname()[1]
+        self._server_ready.set()
+        async with server:
+            await server.serve_forever()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        """Read length-prefixed frames off one peer connection."""
+        try:
+            while True:
+                try:
+                    header = await reader.readexactly(_HEADER.size)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # peer closed cleanly (teardown)
+                (length,) = _HEADER.unpack(header)
+                frame = await reader.readexactly(length)
+                self._on_frame(frame)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 — a silent reader death
+            # would partition the destination for the rest of the run; fail
+            # the run loudly instead, like LiveNetwork's pump does.
+            self._kernel.fail(exc)
+        finally:
+            writer.close()
+
+    def _on_frame(self, frame: bytes) -> None:
+        """Decode one frame and schedule its delivery at the injected time."""
+        if self._closed:
+            return
+        envelope: Envelope = pickle.loads(frame)
+        target = self._nodes.get(envelope.destination)
+        if target is None:
+            self.stats.messages_dropped += 1
+            return
+        # schedule_at clamps slightly-past deadlines to "as soon as
+        # possible", so a socket transit longer than the injected latency
+        # delivers promptly instead of raising.
+        self._kernel.schedule_at(envelope.delivered_at,
+                                 partial(self._deliver, target, envelope))
+
+    async def _send_loop(self, queue: asyncio.Queue) -> None:
+        """Write queued envelopes to this destination's connection, in order."""
+        try:
+            await self._server_ready.wait()
+            _, writer = await asyncio.open_connection("127.0.0.1", self._port)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001
+            self._kernel.fail(exc)
+            return
+        self._writers.append(writer)
+        try:
+            while True:
+                envelope = await queue.get()
+                frame = pickle.dumps(envelope,
+                                     protocol=pickle.HIGHEST_PROTOCOL)
+                writer.write(_HEADER.pack(len(frame)))
+                writer.write(frame)
+                await writer.drain()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001
+            self._kernel.fail(exc)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> List[asyncio.Task]:
+        """Cancel the server and sender tasks; queued frames are dropped.
+
+        Returns the cancelled tasks so the deployment can await their
+        completion (which also closes the connections) before closing the
+        loop.
+        """
+        self._closed = True
+        tasks = list(self._tasks)
+        for task in tasks:
+            task.cancel()
+        for writer in self._writers:
+            writer.close()
+        if self._server is not None:
+            self._server.close()
+        self._tasks.clear()
+        self._queues.clear()
+        self._writers.clear()
+        return tasks
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def port(self) -> Optional[int]:
+        """The localhost port the transport accepts frames on (once bound)."""
+        return self._port
+
+    @property
+    def queued_messages(self) -> int:
+        """Envelopes waiting for their destination's sender task right now."""
+        return sum(queue.qsize() for queue in self._queues.values())

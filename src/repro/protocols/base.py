@@ -28,6 +28,7 @@ critical path of every message that carries an attestation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterable, Optional
 
 from ..common.config import (
@@ -279,7 +280,12 @@ class BaseReplica:
             return
         payload = envelope.payload
         cost = self.inbound_verification_cost(payload)
-        self.workers.submit(cost, lambda: self._process(payload, envelope.source))
+        # partials, not lambdas, throughout the deferred-work paths: queued
+        # jobs must survive a deepcopy of the deployment (warmed-snapshot
+        # reuse in the recovery experiments) — deepcopy remaps a partial's
+        # bound method and arguments, but returns closures uncopied.
+        self.workers.submit(cost, partial(self._process, payload,
+                                          envelope.source))
 
     def _process(self, payload: object, source: str) -> None:
         if not self.active:
@@ -296,7 +302,7 @@ class BaseReplica:
                       if self.store is not None else None)
         if output.cpu_us > 0.0:
             self.workers.submit(output.cpu_us,
-                                lambda: self._flush(output, tc_ops, durable_at))
+                                partial(self._flush, output, tc_ops, durable_at))
         else:
             self._flush(output, tc_ops, durable_at)
 
@@ -453,7 +459,7 @@ class BaseReplica:
                          durable_at: Optional[Micros] = None) -> None:
         if output.cpu_us > 0.0:
             self.workers.submit(output.cpu_us,
-                                lambda: self._flush(output, tc_ops, durable_at))
+                                partial(self._flush, output, tc_ops, durable_at))
         else:
             self._flush(output, tc_ops, durable_at)
 
@@ -672,8 +678,8 @@ class BaseReplica:
                                           + self.costs.mac_generate_us))
         release_seq = seq if self._sequential_speculative_primary() else None
         self.workers.submit(reply_cost,
-                            lambda: self._send_replies(responses, release_seq,
-                                                       durable_at))
+                            partial(self._send_replies, responses, release_seq,
+                                    durable_at))
         self.stats.batches_executed += 1
         self.safety.record_execution(self.replica_id, seq, view, batch.digest(),
                                      self.sim.now)
@@ -730,7 +736,7 @@ class BaseReplica:
             # primary's own execute-and-reply work plus one network round trip
             # — the ``batch / (phases × RTT)`` bound of Section 7.
             self.sim.schedule(2 * self.ctx.one_way_latency_us,
-                              lambda: self.instance_window_freed(release_seq))
+                              partial(self.instance_window_freed, release_seq))
 
     def _sequential_speculative_primary(self) -> bool:
         return (self.is_primary and self.speculative

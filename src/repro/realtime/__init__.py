@@ -16,7 +16,12 @@ so every analysis and figure path works on live runs too.
 """
 
 from .kernel import AsyncioKernel, LiveEvent
-from .deployment import LiveDeployment, run_live_point
+from .deployment import (
+    LiveDeployment,
+    LiveShardedDeployment,
+    ReplyVerifier,
+    run_live_point,
+)
 from .network import LiveNetwork
 
 __all__ = [
@@ -24,5 +29,7 @@ __all__ = [
     "LiveDeployment",
     "LiveEvent",
     "LiveNetwork",
+    "LiveShardedDeployment",
+    "ReplyVerifier",
     "run_live_point",
 ]

@@ -1,14 +1,15 @@
-"""Live deployment: the simulated deployment builder on a real event loop.
+"""Live deployments: the unified deployment builders on a real event loop.
 
-:class:`LiveDeployment` subclasses :class:`~repro.runtime.deployment.Deployment`
-so the entire build path — replicas, worker pools, trusted components and
-their serial devices, durable stores, closed-loop clients — is *identical* to
-the simulated one; only the kernel (an :class:`AsyncioKernel`) and the
-transport (a :class:`LiveNetwork`) differ.  Replica and client code cannot
-tell which backend it runs on, which is the point: the protocol logic being
-measured live is byte-for-byte the logic the simulator validates.
+Since the deployment layer became backend-parameterized, these classes are
+thin shims: :class:`LiveDeployment` is exactly ``Deployment(config,
+backend="live")`` and :class:`LiveShardedDeployment` is ``ShardedDeployment``
+on a live backend — same build path, same run/collect API, same
+:class:`~repro.runtime.deployment.RunResult` row schema.  They survive as
+named classes because "a live deployment" is the unit experiments, examples
+and the CLI talk about, and because both pin live-specific defaults (the
+asyncio backend, a ``kernel`` attribute, context-managed teardown).
 
-What changes semantically:
+What changes semantically on a live backend:
 
 * ``now`` is wall-clock, so throughput/latency rows report *real* numbers —
   including the real cost of HMAC-SHA256 signing and MAC generation, which
@@ -18,106 +19,116 @@ What changes semantically:
   structure shapes live runs the same way it shapes simulated ones.
 * Runs are not deterministic: the OS scheduler is part of the system now.
 
-The run/collect API mirrors the simulated deployment and produces the same
-:class:`~repro.runtime.deployment.RunResult` rows, so every existing
-analysis, table and figure path accepts live results unchanged.
+:class:`ReplyVerifier` closes the loop on authenticity: wrap a deployment
+with it and every ``Response`` a client accepts is HMAC-verified against the
+replicas' keys before the client sees it — a forged or corrupted reply fails
+the run instead of completing a request.
 """
 
 from __future__ import annotations
 
-import asyncio
-from typing import Optional
+from typing import Optional, Union
 
+from ..backends import Backend, resolve_backend
 from ..common.config import DeploymentConfig
-from ..common.types import Micros
-from ..net.topology import Topology
-from ..runtime.deployment import (
-    Deployment,
-    RunResult,
-    measurement_warmup_fraction,
-)
-from .kernel import AsyncioKernel
-from .network import LiveNetwork
+from ..common.errors import InvalidSignature
+from ..protocols.messages import Response, signed_part_bytes
+from ..runtime.deployment import Deployment, RunResult
+from ..sharding.deployment import ShardedDeployment
 
 
 class LiveDeployment(Deployment):
     """A fully wired live deployment of one protocol on an asyncio loop."""
 
-    def __init__(self, config: DeploymentConfig, **kwargs) -> None:
-        kernel = kwargs.pop("sim", None)
-        if kernel is None:
-            kernel = AsyncioKernel()
-        super().__init__(config, sim=kernel, **kwargs)
-        self.kernel: AsyncioKernel = kernel
+    def __init__(self, config: DeploymentConfig,
+                 backend: Union[str, Backend] = "live", **kwargs) -> None:
+        backend = resolve_backend(backend)
+        if not backend.realtime:
+            raise ValueError(
+                f"LiveDeployment needs a realtime backend, not {backend.name!r}"
+                "; use Deployment (or DeploymentSpec) for simulated runs")
+        super().__init__(config, backend=backend, **kwargs)
 
-    # ------------------------------------------------------------- building
-    def _build_network(self, topology: Topology) -> LiveNetwork:
-        config = self.config
-        return LiveNetwork(self.sim, topology, self.rng,
-                           jitter_fraction=config.network.jitter_fraction,
-                           per_message_wire_us=config.network.per_message_wire_us)
-
-    # -------------------------------------------------------------- running
-    def run_until_target(self, target_requests: Optional[int] = None,
-                         max_sim_time_us: Optional[Micros] = None) -> RunResult:
-        """Run until ``target_requests`` complete (or the wall-clock cap).
-
-        ``max_sim_time_us`` bounds *wall-clock* time here — on the live
-        backend the two are the same clock.
-        """
-        experiment = self.config.experiment
-        if target_requests is None:
-            target_requests = ((experiment.warmup_batches + experiment.measured_batches)
-                               * self.protocol_config.batch_size)
-        if max_sim_time_us is None:
-            max_sim_time_us = experiment.max_sim_time_us
-        self.start_clients()
-        self.kernel.run_until(
-            lambda: self.metrics.completed_count >= target_requests,
-            max_wall_seconds=max_sim_time_us / 1_000_000.0)
-        self.stop_clients()
-        return self.collect_result(measurement_warmup_fraction(experiment))
-
-    def run_for(self, duration_us: Micros) -> RunResult:
-        """Run for a fixed amount of wall-clock time."""
-        self.start_clients()
-        self.kernel.run_for(duration_us)
-        self.stop_clients()
-        return self.collect_result(warmup_fraction=0.0)
-
-    def stop_clients(self) -> None:
-        """Stop every client's closed loop (outstanding requests abandoned)."""
-        for client in self.clients:
-            client.stop()
-
-    # ------------------------------------------------------------ lifecycle
-    def close(self) -> None:
-        """Tear down pump tasks and close the owned event loop."""
-        self.stop_clients()
-        tasks = self.network.close()
-        # Drop any backlog of due events first: awaiting the cancelled pump
-        # tasks runs the loop again, and a run that ended on its wall-clock
-        # cap (or an error) must not drain queued protocol callbacks into a
-        # deployment that has already collected its result.
-        self.kernel.cancel_pending()
-        loop = self.kernel.loop
-        if tasks and not loop.is_closed():
-            loop.run_until_complete(
-                asyncio.gather(*tasks, return_exceptions=True))
-        self.kernel.close()
+    @property
+    def kernel(self):
+        """The asyncio kernel driving this deployment (alias of ``sim``)."""
+        return self.sim
 
     def __enter__(self) -> "LiveDeployment":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+
+class LiveShardedDeployment(ShardedDeployment):
+    """*K* consensus groups on one real event loop (queues or TCP)."""
+
+    def __init__(self, config, fault_schedules=None,
+                 backend: Union[str, Backend] = "live") -> None:
+        backend = resolve_backend(backend)
+        if not backend.realtime:
+            raise ValueError(
+                f"LiveShardedDeployment needs a realtime backend, not "
+                f"{backend.name!r}; use ShardedDeployment for simulated runs")
+        super().__init__(config, fault_schedules=fault_schedules,
+                         backend=backend)
+
+    @property
+    def kernel(self):
+        """The asyncio kernel driving every group (alias of ``sim``)."""
+        return self.sim
+
+    def __enter__(self) -> "LiveShardedDeployment":
+        return self
+
+
+class ReplyVerifier:
+    """HMAC-verify every ``Response`` the deployment's clients accept.
+
+    Wraps each client's (or, on a sharded deployment, each lane's) network
+    entry point: a reply must carry a genuine replica signature that
+    verifies against the deployment key store, or the run fails with
+    :class:`~repro.common.errors.InvalidSignature` — surfaced through the
+    kernel exactly like any other callback error.  ``verified`` counts the
+    replies that passed.
+    """
+
+    def __init__(self, deployment: Union[Deployment, ShardedDeployment]) -> None:
+        self.keystore = deployment.keystore
+        self.verified = 0
+        if isinstance(deployment, ShardedDeployment):
+            self.replica_names = {name for group in deployment.groups
+                                  for name in group.replica_names}
+            clients = [lane for client in deployment.clients
+                       for lane in client.lanes]
+        else:
+            self.replica_names = set(deployment.replica_names)
+            clients = list(deployment.clients)
+        for client in clients:
+            client.receive = self._wrap(client.receive)
+
+    def _wrap(self, receive):
+        def verified_receive(envelope):
+            payload = envelope.payload
+            if isinstance(payload, Response):
+                if payload.signature is None:
+                    raise InvalidSignature("client received an unsigned reply")
+                if payload.signature.signer not in self.replica_names:
+                    raise InvalidSignature(
+                        f"reply signed by non-replica "
+                        f"{payload.signature.signer!r}")
+                # Raises InvalidSignature on a forged or corrupted reply.
+                self.keystore.verify_encoded(signed_part_bytes(payload),
+                                             payload.signature)
+                self.verified += 1
+            receive(envelope)
+        return verified_receive
 
 
 def run_live_point(config: DeploymentConfig,
                    target_requests: Optional[int] = None,
-                   max_wall_seconds: Optional[float] = None) -> RunResult:
+                   max_wall_seconds: Optional[float] = None,
+                   backend: Union[str, Backend] = "live") -> RunResult:
     """Build, run and tear down one live deployment; returns its result."""
-    deployment = LiveDeployment(config)
+    deployment = LiveDeployment(config, backend=backend)
     try:
         cap_us = (None if max_wall_seconds is None
                   else max_wall_seconds * 1_000_000.0)

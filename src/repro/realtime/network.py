@@ -9,9 +9,10 @@ envelope is pushed onto the destination's :class:`asyncio.Queue` and a
 per-destination pump task delivers it once its (real) injected latency has
 elapsed.
 
-The queue hop is deliberate: it is exactly where a multi-process or TCP
-transport would replace ``put_nowait`` with a socket write, without touching
-the replicas, the latency model, or the deployment builder.
+The queue hop is deliberate: it is exactly where a socket transport replaces
+``put_nowait`` with a socket write, without touching the replicas, the
+latency model, or the deployment builder — :class:`~repro.net.tcp.TcpTransport`
+is that replacement (select it with ``backend="live-tcp"``).
 """
 
 from __future__ import annotations

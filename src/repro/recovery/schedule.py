@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from ..common.errors import ConfigurationError
@@ -159,8 +160,10 @@ class FaultSchedule:
     def install(self, deployment: "Deployment") -> None:
         """Arm one simulator timer per event against ``deployment``."""
         for event in self.events:
+            # partial, not a lambda: pending fault events must survive a
+            # deepcopy of the deployment (warmed-snapshot reuse).
             deployment.sim.schedule_at(
-                event.at_us, lambda e=event: self._fire(deployment, e))
+                event.at_us, partial(self._fire, deployment, event))
 
     def _fire(self, deployment: "Deployment", event: FaultEvent) -> None:
         if event.kind is FaultEventKind.CRASH:

@@ -1,12 +1,21 @@
 """Deployment builder: replicas + clients + network for one protocol run.
 
 A :class:`Deployment` wires every substrate together from a single
-:class:`~repro.common.config.DeploymentConfig`: it creates the simulator, the
+:class:`~repro.common.config.DeploymentConfig`: it creates the kernel, the
 key store, the topology and network, one replica (with state machine, worker
 pool, durable store and — when the protocol needs it — a trusted component
 and its timed device) per seat, and the closed-loop clients.  Experiments
 then either call :meth:`run_until_target` for throughput measurements or
-drive the simulator directly for attack scenarios.
+drive the kernel directly for attack scenarios.
+
+The build path is **backend-parameterized**: the ``backend`` argument (a
+name or :class:`~repro.backends.Backend`) decides which kernel/transport
+pair the deployment runs on — the deterministic simulator (``sim``, the
+default), a real asyncio event loop with in-process queue transport
+(``live``), or the same loop with a localhost TCP transport (``live-tcp``).
+Every other line of the builder is identical across backends, which is the
+point: the protocol logic measured live is byte-for-byte the logic the
+simulator validates.
 
 Replica *seats* outlive replica *objects*: :meth:`crash_replica` /
 :meth:`restart_replica` (usually driven by a
@@ -20,8 +29,9 @@ counter comes back at zero, which is the paper's Section 6 rollback surface.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
+from ..backends import Backend, resolve_backend
 from ..common.config import DeploymentConfig, sequential_variant
 from ..common.types import ConsensusMode, Micros
 from ..crypto.keystore import KeyStore
@@ -34,7 +44,6 @@ from ..protocols.base import BaseReplica, ReplicaContext
 from ..protocols.registry import ProtocolSpec, get_protocol
 from ..recovery.schedule import FaultSchedule
 from ..recovery.store import DurableStore
-from ..sim.kernel import Simulator
 from ..sim.resources import SerialDevice
 from ..sim.rng import RngRegistry
 from ..trusted.component import TrustedComponentHost
@@ -85,11 +94,15 @@ class RunResult:
 class Deployment:
     """A fully wired deployment of one protocol.
 
-    By default a deployment owns every substrate it needs (simulator, rng
+    By default a deployment owns every substrate it needs (kernel, rng
     registry, key store).  A sharded deployment instead passes shared
     substrates plus a ``name_prefix`` so several independent replica groups
-    coexist on one simulated timeline, and sets ``build_clients=False``
-    because its cross-shard clients are wired up separately.
+    coexist on one timeline, and sets ``build_clients=False`` because its
+    cross-shard clients are wired up separately.
+
+    ``backend`` selects the kernel/transport pair (``sim`` / ``live`` /
+    ``live-tcp``, or a :class:`~repro.backends.Backend` instance); the build
+    path is otherwise identical across backends.
     """
 
     def __init__(self, config: DeploymentConfig,
@@ -100,8 +113,10 @@ class Deployment:
                  keystore: Optional[KeyStore] = None,
                  name_prefix: str = "",
                  build_clients: bool = True,
-                 fault_schedule: Optional[FaultSchedule] = None) -> None:
+                 fault_schedule: Optional[FaultSchedule] = None,
+                 backend: Union[str, Backend, None] = None) -> None:
         self.config = config
+        self.backend = resolve_backend(backend)
         self.spec = spec if spec is not None else get_protocol(config.protocol)
         self.n = self.spec.replicas(config.f)
         config.validate(self.n)
@@ -113,7 +128,7 @@ class Deployment:
             protocol_config = sequential_variant(protocol_config)
         self.protocol_config = protocol_config
 
-        self.sim = sim if sim is not None else Simulator()
+        self.sim = sim if sim is not None else self.backend.build_kernel()
         self.rng = rng if rng is not None else RngRegistry(config.experiment.seed)
         self.keystore = keystore if keystore is not None else KeyStore(
             seed=config.experiment.seed)
@@ -174,11 +189,9 @@ class Deployment:
 
     # ------------------------------------------------------------- building
     def _build_network(self, topology: Topology) -> Network:
-        """Build the transport; the live backend overrides this hook."""
-        config = self.config
-        return Network(self.sim, topology, self.rng,
-                       jitter_fraction=config.network.jitter_fraction,
-                       per_message_wire_us=config.network.per_message_wire_us)
+        """Build the transport for this deployment's backend."""
+        return self.backend.build_network(self.sim, topology, self.rng,
+                                          self.config.network)
 
     def _build_replica(self, replica_id: int,
                        replica_factory: Optional[ReplicaFactory],
@@ -230,9 +243,18 @@ class Deployment:
         for index, client in enumerate(self.clients):
             client.start(initial_delay_us=index * stagger_us)
 
+    def stop_clients(self) -> None:
+        """Stop every client's closed loop (outstanding requests abandoned)."""
+        for client in self.clients:
+            client.stop()
+
     def run_until_target(self, target_requests: Optional[int] = None,
                          max_sim_time_us: Optional[Micros] = None) -> RunResult:
-        """Run until ``target_requests`` complete (or the time cap is hit)."""
+        """Run until ``target_requests`` complete (or the time cap is hit).
+
+        On the live backends ``max_sim_time_us`` bounds *wall-clock* time —
+        there the two are the same clock.
+        """
         experiment = self.config.experiment
         if target_requests is None:
             target_requests = ((experiment.warmup_batches + experiment.measured_batches)
@@ -240,14 +262,46 @@ class Deployment:
         if max_sim_time_us is None:
             max_sim_time_us = experiment.max_sim_time_us
         self.start_clients()
-        self.sim.run(until=max_sim_time_us,
-                     stop_when=lambda: self.metrics.completed_count >= target_requests)
+        self.backend.run(
+            self.sim, until_us=max_sim_time_us,
+            stop_when=lambda: self.metrics.completed_count >= target_requests)
+        if self.backend.realtime:
+            self.stop_clients()
         return self.collect_result(measurement_warmup_fraction(experiment))
 
     def run_for(self, duration_us: Micros) -> RunResult:
-        """Run for a fixed amount of simulated time (attack scenarios)."""
-        self.sim.run(until=duration_us)
+        """Run for a fixed span of kernel time.
+
+        On the simulator this drives attack/recovery scenarios that start
+        their own clients; on the live backends (where a span of real time
+        only measures something if load is offered) the clients are started
+        and stopped around the run.
+        """
+        if self.backend.realtime:
+            self.start_clients()
+            self.backend.run_for(self.sim, duration_us)
+            self.stop_clients()
+        else:
+            self.backend.run_for(self.sim, duration_us)
         return self.collect_result(warmup_fraction=0.0)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release backend resources (transport tasks, the owned event loop).
+
+        A no-op on the simulator; live deployments must be closed (or used
+        as context managers) so pump/socket tasks and the loop are torn
+        down.
+        """
+        if self.backend.realtime:
+            self.stop_clients()
+        self.backend.teardown(self.sim, [self.network])
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def collect_result(self, warmup_fraction: float = 0.1) -> RunResult:
         """Snapshot metrics and substrate statistics into a :class:`RunResult`."""
@@ -327,6 +381,7 @@ class Deployment:
 
 
 def build_deployment(config: DeploymentConfig,
-                     replica_factory: Optional[ReplicaFactory] = None) -> Deployment:
+                     replica_factory: Optional[ReplicaFactory] = None,
+                     backend: Union[str, Backend, None] = None) -> Deployment:
     """Convenience constructor mirroring :class:`Deployment`."""
-    return Deployment(config, replica_factory=replica_factory)
+    return Deployment(config, replica_factory=replica_factory, backend=backend)

@@ -128,10 +128,15 @@ def build_config(protocol: str, scale: ExperimentScale, *,
     )
 
 
-def run_point(config: DeploymentConfig, replica_factory=None) -> RunResult:
-    """Build and run one deployment, returning its result."""
-    deployment = Deployment(config, replica_factory=replica_factory)
-    return deployment.run_until_target()
+def run_point(config: DeploymentConfig, replica_factory=None,
+              backend=None) -> RunResult:
+    """Build and run one deployment (on any backend), returning its result."""
+    deployment = Deployment(config, replica_factory=replica_factory,
+                            backend=backend)
+    try:
+        return deployment.run_until_target()
+    finally:
+        deployment.close()
 
 
 def _row(protocol: str, result: RunResult, **extra) -> dict:
@@ -295,11 +300,16 @@ def build_sharded_config(protocol: str, scale: ExperimentScale, *,
     return ShardedConfig(base=base, num_shards=num_shards)
 
 
-def run_sharded_point(config: "ShardedConfig") -> "ShardedRunResult":
+def run_sharded_point(config: "ShardedConfig",
+                      backend=None) -> "ShardedRunResult":
     """Build and run one sharded deployment, returning its result."""
     from ..sharding.deployment import ShardedDeployment
 
-    return ShardedDeployment(config).run_until_target()
+    deployment = ShardedDeployment(config, backend=backend)
+    try:
+        return deployment.run_until_target()
+    finally:
+        deployment.close()
 
 
 def figure_sharding_scaleout(scale: ExperimentScale = SMALL_SCALE,
@@ -330,7 +340,8 @@ def figure_recovery(scale: ExperimentScale = SMALL_SCALE,
                     hardware_levels: Optional[Iterable[TrustedHardwareSpec]] = None,
                     crash_s: float = 0.8, restart_s: float = 1.4,
                     end_s: float = 2.6,
-                    fsync_latency_us: float = 20.0) -> list[dict]:
+                    fsync_latency_us: float = 20.0,
+                    reuse_warmup: bool = True) -> list[dict]:
     """Throughput dip and time-to-recover after a crash/restart of a replica.
 
     A :class:`~repro.recovery.schedule.FaultSchedule` crashes the highest
@@ -342,13 +353,30 @@ def figure_recovery(scale: ExperimentScale = SMALL_SCALE,
     pre-crash rate — for a sequential trust-bft protocol versus a parallel
     FlexiTrust one, at both trusted-hardware persistence levels (same access
     latency, so only the persistence bit differs).
+
+    With ``reuse_warmup`` (the default) the fault-free warmup up to the
+    crash is simulated once per distinct warmup-relevant configuration and
+    shared — via pickled snapshots — across hardware levels and repeated
+    invocations (see :mod:`repro.runtime.warmcache`).  A point that nothing
+    will share with (a single hardware level, cold cache) runs fresh, so the
+    snapshot cost is only ever paid when a reuse exists to amortise it.
+    Rows are byte-identical either way; ``reuse_warmup=False`` forces fresh
+    full runs (and is what the equivalence tests compare against).
     """
     from ..recovery import FaultSchedule, crash_at, recovery_summary, restart_at
+    from .warmcache import warmed_deployment, warmup_available
 
     rows = []
     protocols = tuple(protocols or ("minbft", "flexi-bft"))
     hardware_levels = tuple(hardware_levels
                             or (SGX_ENCLAVE_COUNTER, ROLLBACK_PROTECTED_COUNTER))
+    # Snapshots only pay off when at least two levels share a warmup — i.e.
+    # they differ solely in the fields the warmup cannot observe (name,
+    # persistence).  Levels with different timing never share, so for them
+    # the serialisation cost would buy nothing.
+    distinct_warmups = {replace(hardware, name="warmup", persistent=False)
+                        for hardware in hardware_levels}
+    warmups_shared = len(distinct_warmups) < len(hardware_levels)
     crash_us, restart_us, end_us = seconds(crash_s), seconds(restart_s), seconds(end_s)
     for protocol in protocols:
         spec = get_protocol(protocol)
@@ -361,8 +389,15 @@ def figure_recovery(scale: ExperimentScale = SMALL_SCALE,
                 replay_latency_us=fsync_latency_us / 4.0))
             schedule = FaultSchedule((crash_at(crashed, crash_us),
                                       restart_at(crashed, restart_us)))
-            deployment = Deployment(config, fault_schedule=schedule)
-            deployment.start_clients()
+            snapshot = reuse_warmup and (
+                warmups_shared
+                or warmup_available(config, schedule, crash_us))
+            if snapshot:
+                deployment = warmed_deployment(config, schedule,
+                                               warm_until_us=crash_us)
+            else:
+                deployment = Deployment(config, fault_schedule=schedule)
+                deployment.start_clients()
             deployment.sim.run(until=end_us)
             result = deployment.collect_result(warmup_fraction=0.0)
             summary = recovery_summary(

@@ -1,0 +1,95 @@
+"""One declarative build path for every deployment shape and backend.
+
+A :class:`DeploymentSpec` names everything that used to be encoded in *which
+class you instantiated*: the deployment configuration, whether the keyspace
+is sharded, which fault schedule (if any) drives crashes and restarts, and
+which execution backend (``sim`` / ``live`` / ``live-tcp``) supplies the
+kernel and transport.  ``spec.build()`` then constructs the right deployment
+— plain, sharded, or fault-scheduled — on the right kernel/transport pair,
+so experiments, the CLI and the perf scenarios all share a single
+construction seam instead of picking a stack by class name::
+
+    DeploymentSpec(config).build()                          # simulated
+    DeploymentSpec(config, backend="live").build()          # asyncio queues
+    DeploymentSpec(config, backend="live-tcp",
+                   num_shards=4).build()                    # sharded on TCP
+    DeploymentSpec(config, fault_schedule=schedule,
+                   backend="live").build()                  # live recovery
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Union
+
+from ..backends import Backend, resolve_backend
+from ..common.config import DeploymentConfig
+from ..common.errors import ConfigurationError
+from ..recovery.schedule import FaultSchedule
+from .deployment import Deployment
+
+if TYPE_CHECKING:
+    from ..sharding.deployment import ShardedDeployment
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Everything needed to build one deployment, on any backend."""
+
+    #: the per-group deployment configuration (protocol, f, workload, ...).
+    config: DeploymentConfig
+    #: execution backend: ``sim`` (default), ``live``, ``live-tcp``, or a
+    #: :class:`~repro.backends.Backend` instance.
+    backend: Union[str, Backend] = "sim"
+    #: when set, build a sharded deployment with this many consensus groups
+    #: (``config`` becomes the per-group base configuration).
+    num_shards: Optional[int] = None
+    #: cross-shard client count for sharded builds (defaults to
+    #: ``config.workload.num_clients``); ignored for plain builds.
+    num_clients: Optional[int] = None
+    #: seed mixed into the shard router's key hash (sharded builds only).
+    router_seed: int = 0
+    #: timed crash/restart/partition events for a plain deployment.
+    fault_schedule: Optional[FaultSchedule] = None
+    #: per-group fault schedules for a sharded deployment (shard -> schedule).
+    fault_schedules: dict[int, FaultSchedule] = field(default_factory=dict)
+
+    @property
+    def sharded(self) -> bool:
+        """Whether :meth:`build` constructs a multi-group deployment."""
+        return self.num_shards is not None
+
+    def validate(self) -> None:
+        """Reject combinations no build path accepts."""
+        if self.sharded and self.fault_schedule is not None:
+            raise ConfigurationError(
+                "a sharded deployment takes per-group fault_schedules "
+                "(shard -> FaultSchedule), not a single fault_schedule")
+        if not self.sharded and self.fault_schedules:
+            raise ConfigurationError(
+                "fault_schedules address shards; a plain deployment takes "
+                "a single fault_schedule")
+
+    def build(self) -> Union[Deployment, "ShardedDeployment"]:
+        """Construct the deployment this spec describes."""
+        self.validate()
+        backend = resolve_backend(self.backend)
+        if not self.sharded:
+            return Deployment(self.config,
+                              fault_schedule=self.fault_schedule,
+                              backend=backend)
+        # Imported lazily: repro.sharding builds on repro.runtime.
+        from ..sharding.config import ShardedConfig
+        from ..sharding.deployment import ShardedDeployment
+
+        sharded_config = ShardedConfig(
+            base=self.config, num_shards=self.num_shards,
+            num_clients=self.num_clients, router_seed=self.router_seed)
+        return ShardedDeployment(sharded_config,
+                                 fault_schedules=self.fault_schedules or None,
+                                 backend=backend)
+
+
+def build_from_spec(spec: DeploymentSpec) -> Union[Deployment, "ShardedDeployment"]:
+    """Function form of :meth:`DeploymentSpec.build`."""
+    return spec.build()

@@ -16,8 +16,9 @@ primary, so a crash or view change in one shard leaves the others untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
+from ..backends import Backend, resolve_backend
 from ..common.errors import ConfigurationError
 from ..common.types import Micros
 from ..crypto.keystore import KeyStore, KeyStoreStats
@@ -27,7 +28,6 @@ from ..runtime.deployment import (
     measurement_warmup_fraction,
     substrate_columns,
 )
-from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from ..workload.sharded_client import ShardedClient
 from ..workload.ycsb import YcsbWorkload
@@ -73,22 +73,43 @@ def shard_scope(identity: str) -> Optional[int]:
         return None
 
 
+#: shard count at which the shared verification cache is split into
+#: per-group LRU domains; below it one shared cache measurably suffices.
+SPLIT_VERIFY_CACHE_SHARDS = 8
+
+
 class ShardedDeployment:
-    """*K* consensus groups over a partitioned keyspace in one simulator."""
+    """*K* consensus groups over a partitioned keyspace on one kernel.
+
+    ``backend`` picks the kernel/transport pair for every group (``sim`` by
+    default): all groups share one kernel — one simulated timeline, or one
+    real event loop — while each group gets its own transport instance, so
+    groups stay fault-isolated on every backend.
+    """
 
     def __init__(self, config: ShardedConfig,
-                 fault_schedules: Optional[dict[int, FaultSchedule]] = None) -> None:
+                 fault_schedules: Optional[dict[int, FaultSchedule]] = None,
+                 backend: Union[str, Backend, None] = None) -> None:
         config.validate()
         self.config = config
+        self.backend = resolve_backend(backend)
         self.num_shards = config.num_shards
-        self.sim = Simulator()
+        self.sim = self.backend.build_kernel()
         base_seed = config.base.experiment.seed
         self.rng = RngRegistry(base_seed)
         self.keystore = KeyStore(seed=base_seed)
         # The verification cache is deployment-global but shared by every
         # group: attribute its traffic to the signer's shard so contention
-        # is measurable before deciding whether to split the cache.
+        # is measurable.  Measured hit rates are identical across shard
+        # counts while the shared LRU stays unsaturated (see
+        # tests/unit/test_shard_verify_cache.py), so small deployments keep
+        # one cache; at high shard counts the working set scales with the
+        # group count, so each group gets its own LRU domain — cross-group
+        # eviction becomes structurally impossible, and simulated rows are
+        # unchanged either way (the cache only skips real-world HMAC work).
         self.keystore.set_scope_resolver(shard_scope)
+        if config.num_shards >= SPLIT_VERIFY_CACHE_SHARDS:
+            self.keystore.split_verify_cache_by_scope()
         self.router = ShardRouter(config.num_shards, seed=config.router_seed)
         self.metrics = ShardedMetrics(config.num_shards)
 
@@ -113,7 +134,8 @@ class ShardedDeployment:
                 rng=RngRegistry(shard_cfg.experiment.seed),
                 keystore=self.keystore,
                 name_prefix=f"shard{shard}/", build_clients=False,
-                fault_schedule=self.fault_schedules.get(shard)))
+                fault_schedule=self.fault_schedules.get(shard),
+                backend=self.backend))
 
         self.clients: list[ShardedClient] = []
         for index in range(config.effective_num_clients):
@@ -133,9 +155,17 @@ class ShardedDeployment:
         for index, client in enumerate(self.clients):
             client.start(initial_delay_us=index * stagger_us)
 
+    def stop_clients(self) -> None:
+        """Stop every cross-shard client (outstanding requests abandoned)."""
+        for client in self.clients:
+            client.stop()
+
     def run_until_target(self, target_requests: Optional[int] = None,
                          max_sim_time_us: Optional[Micros] = None) -> ShardedRunResult:
-        """Run until ``target_requests`` logical requests complete."""
+        """Run until ``target_requests`` logical requests complete.
+
+        On the live backends ``max_sim_time_us`` bounds *wall-clock* time.
+        """
         experiment = self.config.base.experiment
         if target_requests is None:
             # Per-group work comparable to a single-group run: the target
@@ -147,14 +177,35 @@ class ShardedDeployment:
         if max_sim_time_us is None:
             max_sim_time_us = experiment.max_sim_time_us
         self.start_clients()
-        self.sim.run(until=max_sim_time_us,
-                     stop_when=lambda: self.metrics.completed_count >= target_requests)
+        self.backend.run(
+            self.sim, until_us=max_sim_time_us,
+            stop_when=lambda: self.metrics.completed_count >= target_requests)
+        if self.backend.realtime:
+            self.stop_clients()
         return self.collect_result(measurement_warmup_fraction(experiment))
 
     def run_for(self, duration_us: Micros) -> ShardedRunResult:
-        """Run for a fixed amount of simulated time."""
-        self.sim.run(until=duration_us)
+        """Run for a fixed span of kernel time (wall-clock when live)."""
+        if self.backend.realtime:
+            self.start_clients()
+            self.backend.run_for(self.sim, duration_us)
+            self.stop_clients()
+        else:
+            self.backend.run_for(self.sim, duration_us)
         return self.collect_result(warmup_fraction=0.0)
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Release backend resources across every group's transport."""
+        if self.backend.realtime:
+            self.stop_clients()
+        self.backend.teardown(self.sim, [group.network for group in self.groups])
+
+    def __enter__(self) -> "ShardedDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def collect_result(self, warmup_fraction: float = 0.1) -> ShardedRunResult:
         """Snapshot metrics and substrate statistics across every group."""
@@ -196,6 +247,8 @@ class ShardedDeployment:
         return self.router.shard_of(key)
 
 
-def build_sharded_deployment(config: ShardedConfig) -> ShardedDeployment:
+def build_sharded_deployment(config: ShardedConfig,
+                             backend: Union[str, Backend, None] = None
+                             ) -> ShardedDeployment:
     """Convenience constructor mirroring :class:`ShardedDeployment`."""
-    return ShardedDeployment(config)
+    return ShardedDeployment(config, backend=backend)

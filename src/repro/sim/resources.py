@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable, Optional
 
 from ..common.types import Micros
@@ -106,7 +107,11 @@ class WorkerPool:
             job = self._queue.popleft()
             self._busy += 1
             self._stats.total_queue_wait_us += self._sim.now - job.enqueued_at
-            self._sim.schedule(job.service_time, lambda j=job: self._finish(j))
+            # partial, not a lambda: scheduled callbacks must survive a
+            # deepcopy of the whole deployment (the warmed-snapshot reuse in
+            # the recovery experiments) — deepcopy remaps a partial's bound
+            # method and arguments, but returns closures uncopied.
+            self._sim.schedule(job.service_time, partial(self._finish, job))
 
     def _finish(self, job: _Job) -> None:
         self._busy -= 1

@@ -16,12 +16,13 @@ roll-up throughput/latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..common.config import WorkloadConfig
 from ..common.types import Micros, RequestId
 from ..crypto.keystore import KeyStore
-from ..sim.kernel import Simulator
+from ..kernel import Kernel
 from .client import Client, CompletionSink
 from .ycsb import YcsbWorkload
 
@@ -42,9 +43,15 @@ class ShardedClientStats:
 
 
 class ShardedClient:
-    """One closed-loop client whose requests span a sharded deployment."""
+    """One closed-loop client whose requests span a sharded deployment.
 
-    def __init__(self, name: str, sim: Simulator, keystore: KeyStore,
+    The client (and every per-shard lane underneath it) schedules purely
+    through the :class:`~repro.kernel.Kernel` surface — issue delays here,
+    retry/timeout timers inside the lanes — so the same coordinator runs
+    unchanged on the simulator and on the live backends.
+    """
+
+    def __init__(self, name: str, sim: Kernel, keystore: KeyStore,
                  workload: YcsbWorkload, workload_config: WorkloadConfig,
                  router: "ShardRouter", groups: Sequence["Deployment"],
                  global_sink: Optional[CompletionSink] = None,
@@ -73,7 +80,7 @@ class ShardedClient:
                 replica_names=group.replica_names, f=group.f,
                 reply_policy=group.spec.reply_policy, sink=sink,
                 request_timeout_us=group.protocol_config.request_timeout_us,
-                on_complete=lambda shard=shard: self._on_lane_complete(shard))
+                on_complete=partial(self._on_lane_complete, shard))
             group.network.register(lane)
             self.lanes.append(lane)
 

@@ -1,0 +1,150 @@
+"""Warmed-deployment snapshot reuse must be invisible in the results.
+
+The whole point of :mod:`repro.runtime.warmcache` is that a recovery run
+continued from a warmed snapshot produces rows *byte-identical* to a fresh
+full run — the perf harness's determinism digests gate on it.  These tests
+pin that equivalence, the cache-sharing rules (persistence levels share a
+warmup, different latencies do not), and the snapshot fidelity of the
+substrate pieces that make it work (partial-based callbacks, rebuildable
+HMAC templates).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.common.config import (
+    ROLLBACK_PROTECTED_COUNTER,
+    RecoveryConfig,
+    SGX_ENCLAVE_COUNTER,
+)
+from repro.crypto.keystore import KeyStore
+from repro.recovery import FaultSchedule, crash_at, restart_at
+from repro.runtime import warmcache
+from repro.runtime.experiments import (
+    ExperimentScale,
+    build_config,
+    figure_recovery,
+)
+
+_SCALE = ExperimentScale(
+    name="warm-test", f=1, num_clients=4, batch_size=4,
+    warmup_batches=1, measured_batches=2, worker_threads=4,
+    max_sim_seconds=10.0)
+
+_TIMELINE = dict(crash_s=0.05, restart_s=0.09, end_s=0.18,
+                 fsync_latency_us=20.0)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    warmcache.clear_cache()
+    yield
+    warmcache.clear_cache()
+
+
+def _recovery_config(hardware=SGX_ENCLAVE_COUNTER):
+    config = build_config("minbft", _SCALE, hardware=hardware)
+    return config.with_updates(recovery=RecoveryConfig(
+        fsync_latency_us=20.0, replay_latency_us=5.0))
+
+
+def _schedule():
+    return FaultSchedule((crash_at(2, 50_000.0), restart_at(2, 90_000.0)))
+
+
+class TestRowEquivalence:
+    def test_warmed_rows_equal_fresh_rows(self):
+        fresh = figure_recovery(_SCALE, reuse_warmup=False, **_TIMELINE)
+        warmcache.clear_cache()
+        warmed = figure_recovery(_SCALE, reuse_warmup=True, **_TIMELINE)
+        assert fresh == warmed
+
+    def test_repeated_invocations_reuse_snapshots_and_stay_identical(self):
+        first = figure_recovery(_SCALE, **_TIMELINE)
+        assert warmcache.cached_warmups() > 0
+        second = figure_recovery(_SCALE, **_TIMELINE)
+        assert first == second
+
+    def test_single_hardware_level_runs_fresh_on_a_cold_cache(self):
+        # With nothing to share the warmup with, the snapshot cost is pure
+        # overhead — the experiment must skip the cache entirely.
+        figure_recovery(_SCALE, hardware_levels=(SGX_ENCLAVE_COUNTER,),
+                        **_TIMELINE)
+        assert warmcache.cached_warmups() == 0
+
+
+class TestCacheSharing:
+    def test_persistence_levels_share_one_warmup(self):
+        deployment_a = warmcache.warmed_deployment(
+            _recovery_config(SGX_ENCLAVE_COUNTER), _schedule(), 50_000.0)
+        deployment_b = warmcache.warmed_deployment(
+            _recovery_config(ROLLBACK_PROTECTED_COUNTER), _schedule(), 50_000.0)
+        assert warmcache.cached_warmups() == 1
+        # Each clone is retargeted to its own hardware level.
+        assert deployment_a.config.trusted_hardware is SGX_ENCLAVE_COUNTER
+        assert deployment_b.config.trusted_hardware is ROLLBACK_PROTECTED_COUNTER
+
+    def test_different_access_latencies_do_not_share(self):
+        slow = SGX_ENCLAVE_COUNTER.with_latency(500.0)
+        warmcache.warmed_deployment(_recovery_config(), _schedule(), 50_000.0)
+        warmcache.warmed_deployment(_recovery_config(slow), _schedule(),
+                                    50_000.0)
+        assert warmcache.cached_warmups() == 2
+
+    def test_warmup_available_reflects_the_cache(self):
+        config, schedule = _recovery_config(), _schedule()
+        assert not warmcache.warmup_available(config, schedule, 50_000.0)
+        warmcache.warmed_deployment(config, schedule, 50_000.0)
+        assert warmcache.warmup_available(config, schedule, 50_000.0)
+        # Persistence-only variants count as available (shared warmup).
+        assert warmcache.warmup_available(
+            _recovery_config(ROLLBACK_PROTECTED_COUNTER), schedule, 50_000.0)
+
+    def test_clones_are_independent(self):
+        clone_a = warmcache.warmed_deployment(_recovery_config(), _schedule(),
+                                              50_000.0)
+        clone_b = warmcache.warmed_deployment(_recovery_config(), _schedule(),
+                                              50_000.0)
+        assert clone_a is not clone_b
+        clone_a.sim.run(until=180_000.0)
+        # Running one clone must not advance the other.
+        assert clone_b.sim.now == 50_000.0
+
+    def test_rejects_non_positive_horizon(self):
+        from repro.common.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            warmcache.warmed_deployment(_recovery_config(), _schedule(), 0.0)
+
+
+class TestSnapshotFidelity:
+    def test_signing_keys_survive_pickling(self):
+        store = KeyStore(seed=3)
+        key = store.register("pickle-test")
+        signature = key.sign({"value": 1})
+        restored = pickle.loads(pickle.dumps(key))
+        assert restored.sign({"value": 1}) == signature
+        store.verify({"value": 1}, restored.sign({"value": 1}))
+
+    def test_mac_keys_survive_pickling(self):
+        store = KeyStore(seed=3)
+        mac_key = store.mac_key("a", "b")
+        mac = mac_key.generate({"value": 2})
+        restored = pickle.loads(pickle.dumps(mac_key))
+        assert restored.generate({"value": 2}) == mac
+
+    def test_keystore_snapshot_drops_the_verify_cache(self):
+        store = KeyStore(seed=3)
+        key = store.register("signer")
+        signature = key.sign({"v": 1})
+        store.verify({"v": 1}, signature)
+        store.verify({"v": 1}, signature)
+        assert store.stats.verify_cache_hits == 1
+        restored = pickle.loads(pickle.dumps(store))
+        assert restored.verify_cache_sizes() == {None: 0}
+        # ... but verification still works (cache refills).
+        restored.verify({"v": 1}, signature)
+        restored.verify({"v": 1}, signature)

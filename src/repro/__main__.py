@@ -58,8 +58,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            "optional, 'flexibft' works)")
     live.add_argument("--backend", default="live",
                       help="execution backend: 'live'/'asyncio' (in-process "
-                           "queues, default) or 'live-tcp'/'tcp' "
-                           "(length-prefixed frames over localhost sockets)")
+                           "queues, default) or 'live-tcp'/'tcp' (versioned "
+                           "binary frames over localhost sockets)")
     live.add_argument("--sharded", action="store_true",
                       help="run a sharded deployment (multiple consensus "
                            "groups driven by cross-shard clients)")
@@ -79,6 +79,10 @@ def _build_parser() -> argparse.ArgumentParser:
     live.add_argument("--max-seconds", type=float, default=None,
                       help="wall-clock cap on the run (default: the scale's "
                            "simulated-time cap)")
+    live.add_argument("--unsafe-pickle", action="store_true",
+                      help="frame TCP payloads with pickle instead of the "
+                           "binary wire codec (trusted localhost ONLY; "
+                           "legacy escape hatch, removed next release)")
 
     perf = subparsers.add_parser(
         "perf", help="run performance scenarios, write BENCH_*.json, "
@@ -178,8 +182,18 @@ def run_live(args) -> int:
     config = build_config(protocol, scale,
                           num_clients=args.clients,
                           batch_size=args.batch_size)
+    wire_format = None
+    if args.unsafe_pickle:
+        if backend.name != "live-tcp":
+            raise SystemExit("--unsafe-pickle selects the TCP transport's "
+                             "framing; it needs --backend tcp")
+        print("WARNING: --unsafe-pickle frames payloads with pickle, which "
+              "executes arbitrary code on receipt. Trusted localhost only; "
+              "this escape hatch is removed next release.")
+        wire_format = "pickle"
     spec = DeploymentSpec(config, backend=backend,
-                          num_shards=args.shards if args.sharded else None)
+                          num_shards=args.shards if args.sharded else None,
+                          wire_format=wire_format)
     cap_us = (None if args.max_seconds is None
               else args.max_seconds * 1_000_000.0)
     deployment = spec.build()

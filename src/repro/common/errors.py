@@ -53,6 +53,44 @@ class InvalidAttestation(TrustedComponentError):
     """An attestation failed verification against the component's key."""
 
 
+class WireError(ReproError):
+    """A frame or payload on the binary wire protocol is invalid.
+
+    Every wire-layer failure derives from this class so transports can fail
+    a run with one typed diagnostic instead of dying inside ``readexactly``
+    or a decoder internal.  The sub-classes name the exact defect, which the
+    malformed-frame tests pin one by one.
+    """
+
+
+class TruncatedFrame(WireError):
+    """A frame ended before its declared header or payload length."""
+
+
+class BadFrameMagic(WireError):
+    """A frame header does not start with the protocol magic bytes."""
+
+
+class UnsupportedWireVersion(WireError):
+    """A frame header carries a wire-protocol version this build cannot read."""
+
+
+class OversizedFrame(WireError):
+    """A frame header claims a payload larger than the enforced maximum."""
+
+
+class UnknownWireClass(WireError):
+    """A payload names a dataclass that is not in the wire registry."""
+
+
+class MalformedWirePayload(WireError):
+    """A payload is not a well-formed canonical encoding."""
+
+
+class UnencodableWirePayload(WireError):
+    """An outgoing payload contains values the canonical codec cannot carry."""
+
+
 class ProtocolError(ReproError):
     """A replica received a message it cannot process in its current state."""
 

@@ -10,17 +10,35 @@ from .network import (
     drop_all_from,
 )
 from .topology import PAPER_REGIONS, Topology, build_topology, region_latency_us
+from .wire import (
+    HEADER_SIZE,
+    WIRE_MAGIC,
+    WIRE_REGISTRY,
+    WIRE_VERSION,
+    WireCodec,
+    WireRegistry,
+    ensure_default_registrations,
+    wire_serializable,
+)
 
 __all__ = [
     "Envelope",
+    "HEADER_SIZE",
     "MessageRule",
     "Network",
     "NetworkNode",
     "NetworkStats",
     "PAPER_REGIONS",
     "Topology",
+    "WIRE_MAGIC",
+    "WIRE_REGISTRY",
+    "WIRE_VERSION",
+    "WireCodec",
+    "WireRegistry",
     "build_topology",
     "delay_matching",
     "drop_all_from",
+    "ensure_default_registrations",
     "region_latency_us",
+    "wire_serializable",
 ]

@@ -1,21 +1,26 @@
-"""TCP message transport: length-prefixed frames over localhost sockets.
+"""TCP message transport: length-prefixed binary frames over localhost sockets.
 
 :class:`TcpTransport` subclasses the simulated :class:`~repro.net.network.Network`,
 inheriting the whole latency model — topology distances, jitter, per-message
 wire time and adversarial :class:`~repro.net.network.MessageRule` handling —
-and overrides only *how* a computed delivery happens: the envelope is pickled
-into a 4-byte-length-prefixed frame, written to a real TCP connection on
-``127.0.0.1``, read back by the transport's accept loop, and handed to the
-kernel scheduler for delivery at its injected ``delivered_at`` time.
+and overrides only *how* a computed delivery happens: the envelope is framed
+by the versioned binary wire codec (:mod:`repro.net.wire`), written to a real
+TCP connection on ``127.0.0.1``, read back by the transport's accept loop,
+and handed to the kernel scheduler for delivery at its injected
+``delivered_at`` time.
 
 This is the ``_schedule_delivery`` seam the in-process
 :class:`~repro.realtime.network.LiveNetwork` deliberately left open: the
 asyncio-queue ``put_nowait`` becomes a socket write, and nothing above the
 seam — replicas, clients, the deployment builder, the latency model —
 changes.  What the hop buys is a *real serialization boundary*: every payload
-crosses the wire as bytes, so the receiving replica operates on a
-deserialized copy, exactly as a multi-process deployment would, and framing
-or picklability bugs surface here instead of in a future distributed runner.
+crosses the wire as canonical bytes, so the receiving replica operates on a
+decoded copy, exactly as a multi-process deployment would, and framing or
+encodability bugs surface here instead of in a future distributed runner.
+Because frames are canonical bytes behind a validated header — never
+``pickle`` — they are safe to accept from across a machine boundary, and a
+corrupt or malicious length header is rejected after eight bytes instead of
+driving ``readexactly`` into a multi-gigabyte allocation.
 
 Ordering matches the queue transport: one connection per destination, so
 frames to the same destination arrive FIFO, and the kernel's ``(time, seq)``
@@ -28,32 +33,33 @@ transport never delivers *earlier* than the model says.
 from __future__ import annotations
 
 import asyncio
-import pickle
-import struct
 from functools import partial
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from ..common.errors import WireError
 from .network import Envelope, Network, NetworkNode
+from .wire import HEADER_SIZE, MalformedWirePayload, WireCodec
 
 if TYPE_CHECKING:
     from ..realtime.kernel import AsyncioKernel
-
-#: frame header: one unsigned big-endian 32-bit payload length.
-_HEADER = struct.Struct(">I")
 
 
 class TcpTransport(Network):
     """Point-to-point transport over localhost TCP with injected latency."""
 
-    def __init__(self, sim: "AsyncioKernel", *args, **kwargs) -> None:
+    def __init__(self, sim: "AsyncioKernel", *args,
+                 wire_codec: Optional[WireCodec] = None, **kwargs) -> None:
         super().__init__(sim, *args, **kwargs)
         self._kernel = sim
+        self._codec = wire_codec if wire_codec is not None else WireCodec()
         self._server: Optional[asyncio.AbstractServer] = None
         self._port: Optional[int] = None
         self._server_ready: Optional[asyncio.Event] = None
+        self._server_failed = False
         self._queues: Dict[str, asyncio.Queue] = {}
         self._tasks: List[asyncio.Task] = []
         self._writers: List[asyncio.StreamWriter] = []
+        self._server_writers: List[asyncio.StreamWriter] = []
         self._closed = False
 
     # ------------------------------------------------------------- delivery
@@ -81,8 +87,13 @@ class TcpTransport(Network):
             server = await asyncio.start_server(
                 self._handle_connection, host="127.0.0.1", port=0)
         except BaseException as exc:  # noqa: BLE001 — surfaced via the kernel
+            # Senders block on _server_ready before connecting; wake them so
+            # a failed bind fails the run once and loudly instead of leaving
+            # every _send_loop waiting until the wall-clock cap times out.
+            self._server_failed = True
+            self._server_ready.set()
             self._kernel.fail(exc)
-            raise
+            return
         self._server = server
         self._port = server.sockets[0].getsockname()[1]
         self._server_ready.set()
@@ -92,17 +103,28 @@ class TcpTransport(Network):
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         """Read length-prefixed frames off one peer connection."""
+        self._server_writers.append(writer)
         try:
             while True:
                 try:
-                    header = await reader.readexactly(_HEADER.size)
+                    header = await reader.readexactly(HEADER_SIZE)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return  # peer closed cleanly (teardown)
-                (length,) = _HEADER.unpack(header)
+                # Header validation (magic, version, flags, max frame size)
+                # happens before the payload read, so a corrupt length field
+                # can never drive readexactly into allocating it.
+                flags, length = self._codec.parse_header(header)
                 frame = await reader.readexactly(length)
-                self._on_frame(frame)
+                self._on_frame(flags, frame)
         except asyncio.CancelledError:
             raise
+        except WireError as exc:
+            # One typed diagnostic naming the peer, then fail the run: an
+            # undecodable frame means the connection is desynchronised (or
+            # the peer is not speaking our protocol) and nothing after it
+            # can be trusted.
+            peer = writer.get_extra_info("peername")
+            self._kernel.fail(type(exc)(f"invalid frame from {peer}: {exc}"))
         except BaseException as exc:  # noqa: BLE001 — a silent reader death
             # would partition the destination for the rest of the run; fail
             # the run loudly instead, like LiveNetwork's pump does.
@@ -110,11 +132,15 @@ class TcpTransport(Network):
         finally:
             writer.close()
 
-    def _on_frame(self, frame: bytes) -> None:
+    def _on_frame(self, flags: int, frame: bytes) -> None:
         """Decode one frame and schedule its delivery at the injected time."""
         if self._closed:
             return
-        envelope: Envelope = pickle.loads(frame)
+        envelope = self._codec.decode_payload(frame, flags)
+        if not isinstance(envelope, Envelope):
+            raise MalformedWirePayload(
+                f"frame decoded to {type(envelope).__name__}, expected an "
+                "Envelope")
         target = self._nodes.get(envelope.destination)
         if target is None:
             self.stats.messages_dropped += 1
@@ -129,6 +155,8 @@ class TcpTransport(Network):
         """Write queued envelopes to this destination's connection, in order."""
         try:
             await self._server_ready.wait()
+            if self._server_failed:
+                return  # the failed bind already failed the run loudly
             _, writer = await asyncio.open_connection("127.0.0.1", self._port)
         except asyncio.CancelledError:
             raise
@@ -139,10 +167,7 @@ class TcpTransport(Network):
         try:
             while True:
                 envelope = await queue.get()
-                frame = pickle.dumps(envelope,
-                                     protocol=pickle.HIGHEST_PROTOCOL)
-                writer.write(_HEADER.pack(len(frame)))
-                writer.write(frame)
+                writer.write(self._codec.encode_frame(envelope))
                 await writer.drain()
         except asyncio.CancelledError:
             raise
@@ -153,28 +178,56 @@ class TcpTransport(Network):
     def close(self) -> List[asyncio.Task]:
         """Cancel the server and sender tasks; queued frames are dropped.
 
-        Returns the cancelled tasks so the deployment can await their
-        completion (which also closes the connections) before closing the
-        loop.
+        Returns the cancelled tasks — plus one finaliser task that closes
+        every connection and the server with ``wait_closed()`` — so the
+        deployment can await their completion before closing the loop.
+        Without the awaited ``wait_closed`` calls, repeated deployments in
+        one process leak sockets/file descriptors and emit
+        ``ResourceWarning`` when the half-closed transports are collected.
         """
         self._closed = True
         tasks = list(self._tasks)
         for task in tasks:
             task.cancel()
-        for writer in self._writers:
-            writer.close()
-        if self._server is not None:
-            self._server.close()
+        writers = list(self._writers) + list(self._server_writers)
+        server, self._server = self._server, None
         self._tasks.clear()
         self._queues.clear()
         self._writers.clear()
+        self._server_writers.clear()
+        loop = self._kernel.loop
+        if (server is not None or writers) and not loop.is_closed():
+            tasks.append(loop.create_task(self._finalize(server, writers),
+                                          name="tcp-finalize"))
         return tasks
+
+    @staticmethod
+    async def _finalize(server: Optional[asyncio.AbstractServer],
+                        writers: List[asyncio.StreamWriter]) -> None:
+        """Close every connection and the server, waiting for each close."""
+        for writer in writers:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # the peer may have torn the connection down already
+        if server is not None:
+            server.close()
+            try:
+                await server.wait_closed()
+            except (ConnectionError, OSError):
+                pass
 
     # ----------------------------------------------------------- inspection
     @property
     def port(self) -> Optional[int]:
         """The localhost port the transport accepts frames on (once bound)."""
         return self._port
+
+    @property
+    def wire_codec(self) -> WireCodec:
+        """The codec framing every envelope this transport carries."""
+        return self._codec
 
     @property
     def queued_messages(self) -> int:

@@ -9,9 +9,10 @@ Two families share one registry:
   crash → restart → state-transfer experiment, ``sharding_scaleout`` the
   multi-group scale-out experiment.
 * **Microbenchmarks** isolate one substrate layer each — the simulation
-  kernel (``kernel``), the message transport (``network``) and the
-  serialisation/crypto layer (``crypto``) — so a regression can be attributed
-  before bisecting a full deployment run.
+  kernel (``kernel``), the message transport (``network``), the
+  serialisation/crypto layer (``crypto``) and the binary wire framing
+  (``wire_codec``) — so a regression can be attributed before bisecting a
+  full deployment run.
 
 Every scenario is a function ``(PerfScale) -> list[dict]`` returning flat row
 dictionaries of *simulated* results only (no wall-clock values), so the rows
@@ -445,6 +446,59 @@ def scenario_crypto(scale: PerfScale) -> list[dict]:
     }]
 
 
+def scenario_wire_codec(scale: PerfScale) -> list[dict]:
+    """Wire-framing microbenchmark: encode and decode live-tcp frames.
+
+    Exercises the full socket path minus the socket: a representative mix of
+    envelopes (client request in, Preprepare broadcast out, prepare votes,
+    client response) is framed by :class:`~repro.net.wire.WireCodec` and
+    decoded back, round-robin, the way ``TcpTransport`` does per message.
+    Encoding measures the canonical-cache fast path (the broadcast case:
+    one message framed for many destinations); decoding measures the strict
+    parser plus instance construction.  The rolling digest over decoded
+    frames pins determinism — and, because decode pins the wire slice as the
+    canonical cache, it also proves decoded messages digest identically to
+    what the sender signed.
+    """
+    from ..net.wire import WireCodec
+
+    codec = WireCodec()
+    iterations = max(1, scale.micro_ops // 40)
+    envelopes = []
+    for i in range(iterations):
+        request = ClientRequest(
+            request_id=RequestId(client=f"perf-client-{i % 16}", number=i),
+            operations=(Operation(action="write", key=f"user{i % 997}",
+                                  value=f"value-{i}"),))
+        batch = RequestBatch(requests=(request,) * 4)
+        envelopes.append(Envelope(
+            source=f"client-{i % 16}", destination="replica-0",
+            payload=request, sent_at=float(i), delivered_at=float(i) + 0.25))
+        # one batch framed for three destinations: the broadcast fast path
+        # where encode_frame reuses the instance's cached canonical bytes.
+        for destination in range(3):
+            envelopes.append(Envelope(
+                source="replica-0", destination=f"replica-{destination + 1}",
+                payload=batch, sent_at=float(i),
+                delivered_at=float(i) + 0.5))
+    frames = 0
+    total_bytes = 0
+    rolling = b"\x00" * 32
+    for envelope in envelopes:
+        frame = codec.encode_frame(envelope)
+        frames += 1
+        total_bytes += len(frame)
+        decoded = codec.decode_frame(frame)
+        rolling = combine_digests(rolling, digest(decoded))
+    return [{
+        "iterations": iterations,
+        "frames": frames,
+        "frame_bytes": total_bytes,
+        "rolling_digest": rolling.hex(),
+        "events": 0,
+    }]
+
+
 #: registry of every named scenario.
 SCENARIOS: dict[str, object] = {
     "fig1": scenario_fig1,
@@ -456,6 +510,7 @@ SCENARIOS: dict[str, object] = {
     "kernel": scenario_kernel,
     "network": scenario_network,
     "crypto": scenario_crypto,
+    "wire_codec": scenario_wire_codec,
 }
 
 #: scenarios that run a fixed live sizing regardless of the requested scale;

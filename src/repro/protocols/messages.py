@@ -27,6 +27,7 @@ from ..crypto.digest import (
 )
 from ..crypto.signatures import Signature
 from ..execution.state_machine import Operation, OperationResult
+from ..net.wire import wire_serializable
 from ..trusted.attestation import Attestation
 
 
@@ -67,6 +68,7 @@ def with_signature(message, signature: Signature):
 
 
 # --------------------------------------------------------------------- client
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class ClientRequest:
@@ -96,6 +98,7 @@ class ClientRequest:
                 "digest": self.payload_digest()}
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class RequestBatch:
@@ -113,6 +116,7 @@ class RequestBatch:
         return len(self.requests)
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class Response:
@@ -136,6 +140,7 @@ class Response:
         return (self.request_id, self.seq, self.view, self.result_digest)
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class ResendRequest:
@@ -145,6 +150,7 @@ class ResendRequest:
 
 
 # ------------------------------------------------------------------ consensus
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class PrePrepare:
@@ -163,6 +169,7 @@ class PrePrepare:
                 "batch_digest": self.batch_digest, "primary": self.primary}
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class Prepare:
@@ -180,6 +187,7 @@ class Prepare:
                 "batch_digest": self.batch_digest, "replica": self.replica}
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class Commit:
@@ -198,6 +206,7 @@ class Commit:
 
 
 # --------------------------------------------------------- speculative paths
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class CommitCertificate:
@@ -216,6 +225,7 @@ class CommitCertificate:
     responders: tuple[ReplicaId, ...]
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class CommitAck:
@@ -237,6 +247,7 @@ class CommitAck:
 
 
 # ----------------------------------------------------------------- liveness
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class Checkpoint:
@@ -253,6 +264,7 @@ class Checkpoint:
                 "replica": self.replica}
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class PreparedProof:
@@ -266,6 +278,7 @@ class PreparedProof:
     prepare_count: int = 0
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class ViewChange:
@@ -284,6 +297,7 @@ class ViewChange:
                                           for p in self.prepared)}
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class NewView:
@@ -303,6 +317,7 @@ class NewView:
 
 
 # ------------------------------------------------------------ state transfer
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class CheckpointRequest:
@@ -318,6 +333,7 @@ class CheckpointRequest:
                 "round": self.round}
 
 
+@wire_serializable
 @dataclass(frozen=True)
 class CheckpointReply:
     """A peer's latest stable checkpoint plus where its log currently ends.
@@ -346,6 +362,7 @@ class CheckpointReply:
                 "last_executed": self.last_executed, "view": self.view}
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class LogFillEntry:
@@ -357,6 +374,7 @@ class LogFillEntry:
     batch_digest: bytes
 
 
+@wire_serializable
 @canonical_cacheable
 @dataclass(frozen=True)
 class LogFill:

@@ -53,6 +53,11 @@ class DeploymentSpec:
     fault_schedule: Optional[FaultSchedule] = None
     #: per-group fault schedules for a sharded deployment (shard -> schedule).
     fault_schedules: dict[int, FaultSchedule] = field(default_factory=dict)
+    #: socket framing for transports with a serialization boundary:
+    #: ``"binary"`` (the default codec) or ``"pickle"`` (the one-release
+    #: ``--unsafe-pickle`` escape hatch).  ``None`` keeps the backend's own
+    #: default; setting it on an in-memory backend is a configuration error.
+    wire_format: Optional[str] = None
 
     @property
     def sharded(self) -> bool:
@@ -74,6 +79,8 @@ class DeploymentSpec:
         """Construct the deployment this spec describes."""
         self.validate()
         backend = resolve_backend(self.backend)
+        if self.wire_format is not None:
+            backend = backend.with_wire_format(self.wire_format)
         if not self.sharded:
             return Deployment(self.config,
                               fault_schedule=self.fault_schedule,

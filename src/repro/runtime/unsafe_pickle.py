@@ -1,0 +1,53 @@
+"""Legacy pickle wire codec — kept ONE release as an explicit escape hatch.
+
+``pickle.loads`` on network bytes is arbitrary code execution: anything that
+can write to the socket owns the process.  The binary canonical codec in
+:mod:`repro.net.wire` replaced pickle as the live-tcp wire format, and this
+module exists only so a deployment that somehow depends on pickled frames
+(e.g. a payload type nobody registered yet) can limp along *on trusted
+localhost* while it migrates: ``repro live --backend tcp --unsafe-pickle``.
+
+It lives under ``runtime/`` rather than ``net/`` on purpose — the lint gate
+banning pickle under ``src/repro/net/`` and ``src/repro/realtime/`` is the
+guarantee the transport stack never grows a pickle path back, and this module
+is the one documented exception outside the fence.
+
+Frames produced here still carry the versioned wire header, with
+``FLAG_PICKLE`` set so the default codec rejects them with a typed error
+instead of feeding pickle bytes to the canonical decoder.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from ..common.errors import OversizedFrame, UnencodableWirePayload
+from ..net.wire import FLAG_PICKLE, HEADER, WIRE_MAGIC, WIRE_VERSION, WireCodec
+
+
+class UnsafePickleWireCodec(WireCodec):
+    """Wire codec that frames pickled payloads.  Trusted localhost ONLY."""
+
+    format_name = "pickle"
+
+    def encode_frame(self, value: Any) -> bytes:
+        try:
+            payload = pickle.dumps(value)
+        except Exception as exc:
+            raise UnencodableWirePayload(
+                f"pickle cannot serialise {type(value).__name__}: {exc}"
+            ) from exc
+        if len(payload) > self.max_frame_bytes:
+            raise OversizedFrame(
+                f"{type(value).__name__} pickles to {len(payload)} bytes; "
+                f"the enforced maximum is {self.max_frame_bytes} bytes")
+        return HEADER.pack(WIRE_MAGIC, WIRE_VERSION, FLAG_PICKLE,
+                           len(payload)) + payload
+
+    def decode_payload(self, payload: bytes, flags: int = 0) -> Any:
+        # Accept both pickled and canonical frames, so a mixed deployment
+        # mid-migration still interoperates in one direction.
+        if flags & FLAG_PICKLE:
+            return pickle.loads(payload)
+        return super().decode_payload(payload, flags)

@@ -1,7 +1,8 @@
 """End-to-end integration of the TCP transport and live sharded scenarios.
 
 The TCP backend runs the unchanged protocol stack with every message crossing
-a real localhost socket as a length-prefixed pickled frame; the live sharded
+a real localhost socket as a versioned binary frame (the canonical wire
+codec in :mod:`repro.net.wire`); the live sharded
 deployments run multiple consensus groups on one event loop (queue or TCP
 transport) driven by cross-shard clients.  Every reply a client accepts is
 HMAC-verified, so these tests certify authenticity end to end, not just

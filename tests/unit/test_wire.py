@@ -1,0 +1,289 @@
+"""Unit tests for the versioned binary wire codec."""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+
+import pytest
+
+from repro.common.errors import (
+    BadFrameMagic,
+    ConfigurationError,
+    MalformedWirePayload,
+    OversizedFrame,
+    TruncatedFrame,
+    UnencodableWirePayload,
+    UnknownWireClass,
+    UnsupportedWireVersion,
+    WireError,
+)
+from repro.common.types import RequestId
+from repro.crypto.digest import canonical_bytes, digest
+from repro.execution.state_machine import Operation
+from repro.net.network import Envelope
+from repro.net.wire import (
+    FLAG_PICKLE,
+    HEADER,
+    HEADER_SIZE,
+    MAX_DECODE_DEPTH,
+    WIRE_MAGIC,
+    WIRE_VERSION,
+    WireCodec,
+    WireRegistry,
+    decode_payload,
+    encode_payload,
+    wire_serializable,
+)
+from repro.protocols.messages import ClientRequest, RequestBatch
+from repro.runtime.unsafe_pickle import UnsafePickleWireCodec
+
+
+def _request(number: int = 1) -> ClientRequest:
+    return ClientRequest(
+        request_id=RequestId(client="test-client", number=number),
+        operations=(Operation(action="write", key="k", value="v"),))
+
+
+def _envelope(payload: object) -> Envelope:
+    return Envelope(source="a", destination="b", payload=payload,
+                    sent_at=1.0, delivered_at=2.0)
+
+
+# ---------------------------------------------------------------- round trips
+class TestRoundTrips:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, 1, -1, 10**40, -(10**40), 0.0, 1.5, -2.25,
+        "", "hello", "ünïcode ✓", b"", b"\x00\xff" * 10,
+        [], [1, "two", b"three", None], {"k": "v", "n": 3},
+        {1: [2, {3: 4}]}, set(), {1, 2, 3}, frozenset({"a", "b"}),
+    ])
+    def test_plain_values(self, value):
+        codec = WireCodec()
+        decoded = codec.decode_frame(codec.encode_frame(value))
+        assert decoded == value
+
+    def test_nested_message(self):
+        codec = WireCodec()
+        batch = RequestBatch(requests=(_request(1), _request(2)))
+        env = _envelope(batch)
+        decoded = codec.decode_frame(codec.encode_frame(env))
+        assert decoded == env
+        # declared field types are restored, not the encoder's collapsed ones
+        assert isinstance(decoded.payload.requests, tuple)
+        assert isinstance(decoded.payload.requests[0].operations, tuple)
+
+    def test_decoded_instance_digests_identically(self):
+        codec = WireCodec()
+        request = _request()
+        decoded = codec.decode_frame(codec.encode_frame(request))
+        assert canonical_bytes(decoded) == canonical_bytes(request)
+        assert digest(decoded) == digest(request)
+
+    def test_decode_pins_canonical_cache(self):
+        from repro.crypto.digest import _CANONICAL_CACHE
+
+        codec = WireCodec()
+        request = _request()
+        frame = codec.encode_frame(request)
+        decoded = codec.decode_frame(frame)
+        # the received wire slice doubles as the canonical-encoding cache:
+        # the receiver never re-encodes what the sender already encoded
+        assert getattr(decoded, _CANONICAL_CACHE) == frame[HEADER_SIZE:]
+
+    def test_sets_inside_payload(self):
+        codec = WireCodec()
+        decoded = codec.decode_frame(codec.encode_frame({"s": {1, "x"}}))
+        assert decoded == {"s": {1, "x"}}
+
+    def test_set_terminator_string_ambiguity(self):
+        # a set whose member is a string: the decoder must not confuse the
+        # member's 's<len>:' tag with the set terminator
+        codec = WireCodec()
+        for value in ({"s"}, {"1"}, {"s", "1", "11"}, {""}):
+            assert codec.decode_frame(codec.encode_frame(value)) == value
+
+
+# ------------------------------------------------------------ framing errors
+class TestMalformedFrames:
+    def _frame(self, payload: bytes, magic=WIRE_MAGIC, version=WIRE_VERSION,
+               flags=0, length=None) -> bytes:
+        length = len(payload) if length is None else length
+        return HEADER.pack(magic, version, flags, length) + payload
+
+    def test_truncated_header(self):
+        with pytest.raises(TruncatedFrame):
+            WireCodec().decode_frame(b"RB\x01")
+
+    def test_truncated_payload(self):
+        frame = self._frame(encode_payload("hello"), length=1000)
+        with pytest.raises(TruncatedFrame):
+            WireCodec().decode_frame(frame)
+
+    def test_bad_magic(self):
+        frame = self._frame(encode_payload("x"), magic=b"ZZ")
+        with pytest.raises(BadFrameMagic):
+            WireCodec().decode_frame(frame)
+
+    def test_unknown_version(self):
+        frame = self._frame(encode_payload("x"), version=WIRE_VERSION + 1)
+        with pytest.raises(UnsupportedWireVersion):
+            WireCodec().decode_frame(frame)
+
+    def test_unknown_flags(self):
+        frame = self._frame(encode_payload("x"), flags=0x80)
+        with pytest.raises(MalformedWirePayload):
+            WireCodec().decode_frame(frame)
+
+    def test_oversize_length_rejected_from_header_alone(self):
+        # a corrupt header claiming 4 GiB must be rejected before any
+        # payload allocation — parse_header sees only the 8 header bytes
+        header = HEADER.pack(WIRE_MAGIC, WIRE_VERSION, 0, 2**32 - 1)
+        with pytest.raises(OversizedFrame):
+            WireCodec().parse_header(header)
+
+    def test_oversize_outgoing_frame(self):
+        codec = WireCodec(max_frame_bytes=64)
+        with pytest.raises(OversizedFrame):
+            codec.encode_frame("x" * 100)
+
+    def test_unknown_class(self):
+        payload = b"D7:Nothing s1:x i1:1 d".replace(b" ", b"")
+        with pytest.raises(UnknownWireClass):
+            decode_payload(payload)
+
+    def test_every_malformed_case_is_a_wire_error(self):
+        codec = WireCodec()
+        cases = [
+            b"",                                  # empty frame
+            b"RB",                                # truncated header
+            self._frame(b"", magic=b"XX"),        # bad magic
+            self._frame(b"", version=99),         # unknown version
+            self._frame(b"i3:1_0"),               # non-canonical int
+            self._frame(b"i2:05"),                # leading zero
+            self._frame(b"i2:-0"),                # negative zero
+            self._frame(b"f3:1.50"),              # non-canonical float
+            self._frame(b"s5:ab"),                # truncated string body
+            self._frame(b"s2:ab" + b"junk"),      # trailing bytes
+            self._frame(b"Ls1:a"),                # unterminated list
+            self._frame(b"Ms1:a"),                # unterminated dict
+            self._frame(b"q"),                    # unknown tag
+            self._frame(b"ML1:lT" + b"m"),        # unhashable dict key
+        ]
+        for frame in cases:
+            with pytest.raises(WireError):
+                codec.decode_frame(frame)
+
+    def test_depth_bomb(self):
+        payload = b"L" * (MAX_DECODE_DEPTH + 10)
+        with pytest.raises(MalformedWirePayload):
+            decode_payload(payload)
+
+    def test_wrong_field_order_rejected(self):
+        # strict decoding: canonical declaration order only (anything else
+        # would re-encode differently and poison the pinned cache)
+        good = canonical_bytes(RequestId(client="c", number=1))
+        assert good.startswith(b"D")
+        swapped = good.replace(b"s6:client", b"s6:CLIENT")
+        with pytest.raises(MalformedWirePayload):
+            decode_payload(swapped)
+
+    def test_unencodable_payload(self):
+        with pytest.raises(UnencodableWirePayload):
+            WireCodec().encode_frame(object())
+
+
+# ------------------------------------------------------------------ registry
+class TestRegistry:
+    def test_name_collision_rejected(self):
+        registry = WireRegistry()
+
+        @dataclass(frozen=True)
+        class Thing:
+            x: int
+
+        registry.register(Thing)
+        registry.register(Thing)  # re-registering the same class is fine
+        first = Thing
+
+        @dataclass(frozen=True)
+        class Thing:  # noqa: F811 — the collision is the point
+            y: int
+
+        with pytest.raises(ConfigurationError):
+            registry.register(Thing)
+        assert registry.registered_classes()["Thing"] is first
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            WireRegistry().register(dict)
+
+    def test_custom_registry_round_trip(self):
+        registry = WireRegistry()
+
+        @dataclass(frozen=True)
+        class Point:
+            x: int
+            y: int
+
+        registry.register(Point)
+        codec = WireCodec(registry=registry)
+        assert codec.decode_frame(codec.encode_frame(Point(3, 4))) == Point(3, 4)
+
+    def test_wire_serializable_returns_class(self):
+        @dataclass(frozen=True)
+        class _Probe:
+            n: int
+
+        try:
+            assert wire_serializable(_Probe) is _Probe
+        finally:
+            # keep the default registry clean for other tests
+            from repro.net.wire import WIRE_REGISTRY
+            WIRE_REGISTRY._by_name.pop("_Probe", None)
+
+
+# ------------------------------------------------------------- pickle hatch
+class TestPickleEscapeHatch:
+    def test_default_codec_refuses_pickled_frames(self):
+        frame = UnsafePickleWireCodec().encode_frame(_envelope("x"))
+        flags, _ = WireCodec().parse_header(frame)
+        assert flags & FLAG_PICKLE
+        with pytest.raises(MalformedWirePayload):
+            WireCodec().decode_frame(frame)
+
+    def test_unsafe_codec_round_trips_pickle(self):
+        codec = UnsafePickleWireCodec()
+        env = _envelope(_request())
+        assert codec.decode_frame(codec.encode_frame(env)) == env
+
+    def test_unsafe_codec_accepts_binary_frames(self):
+        env = _envelope("mixed")
+        frame = WireCodec().encode_frame(env)
+        assert UnsafePickleWireCodec().decode_frame(frame) == env
+
+    def test_pickled_frame_carries_wire_header(self):
+        frame = UnsafePickleWireCodec().encode_frame("x")
+        magic, version, flags, length = HEADER.unpack(frame[:HEADER_SIZE])
+        assert (magic, version) == (WIRE_MAGIC, WIRE_VERSION)
+        assert flags == FLAG_PICKLE
+        assert pickle.loads(frame[HEADER_SIZE:]) == "x"
+
+
+# ----------------------------------------------------------------- contracts
+class TestFrameLayout:
+    def test_header_layout_is_pinned(self):
+        # README documents this layout; changing it is a WIRE_VERSION bump
+        assert WIRE_MAGIC == b"RB"
+        assert WIRE_VERSION == 1
+        assert HEADER_SIZE == 8
+        assert HEADER.format == ">2sBBI"
+
+    def test_frame_is_header_plus_canonical_payload(self):
+        env = _envelope("payload")
+        frame = WireCodec().encode_frame(env)
+        assert frame[:2] == WIRE_MAGIC
+        assert frame[HEADER_SIZE:] == canonical_bytes(env)
+        length = struct.unpack(">I", frame[4:8])[0]
+        assert length == len(frame) - HEADER_SIZE

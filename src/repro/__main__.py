@@ -83,6 +83,25 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="frame TCP payloads with pickle instead of the "
                            "binary wire codec (trusted localhost ONLY; "
                            "legacy escape hatch, removed next release)")
+    live.add_argument("--trace", default=None, metavar="FILE",
+                      help="enable structured tracing and write the retained "
+                           "events to FILE as JSON lines at the end of the run")
+    live.add_argument("--health-interval", type=float, default=None,
+                      metavar="SECONDS",
+                      help="sample per-replica health every SECONDS while the "
+                           "run is in flight (also folds an end-of-run health "
+                           "aggregate into the result row)")
+    live.add_argument("--stall-seconds", type=float, default=None,
+                      metavar="SECONDS",
+                      help="fire the stall watchdog after this long without "
+                           "progress (default: derived from the wall-clock cap)")
+    live.add_argument("--diag", default=None, metavar="FILE",
+                      help="on a stall, write the watchdog's diagnostics "
+                           "bundle to FILE (default: diagnostics.json)")
+    live.add_argument("--report", choices=("table", "json"), default="table",
+                      help="output format: human table (default) or a JSON "
+                           "document with the result row, health aggregate "
+                           "and per-shard verify-cache report")
 
     perf = subparsers.add_parser(
         "perf", help="run performance scenarios, write BENCH_*.json, "
@@ -90,8 +109,8 @@ def _build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--scenarios", nargs="+", metavar="NAME",
                       default=["smoke"],
                       help="scenario names (fig1, recovery, sharding_scaleout, "
-                           "live_smoke, live_fig1, live_recovery, kernel, "
-                           "network, crypto) and/or suite names "
+                           "live_smoke, live_fig1, live_recovery, obsv_overhead, "
+                           "kernel, network, crypto) and/or suite names "
                            "(smoke, medium, large); default: smoke")
     perf.add_argument("--scale", default=None,
                       help="run every selected scenario (and suite) at this "
@@ -113,6 +132,34 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="collate the BENCH_*.json artifacts under DIR "
                            "(recursive) into per-scenario trend tables and "
                            "exit; no scenarios are run")
+    perf.add_argument("--report", choices=("table", "json"), default="table",
+                      help="output format: human tables (default) or one "
+                           "JSON document with every scenario payload")
+
+    diag = subparsers.add_parser(
+        "diag", help="run a short live deployment with tracing and health "
+                     "sampling on, then write a diagnostics bundle "
+                     "(kernel/queue/connection/replica state) to a file")
+    diag.add_argument("--protocol", default="flexi-bft",
+                      help="protocol to deploy (default: flexi-bft)")
+    diag.add_argument("--backend", default="live",
+                      help="real-time backend to diagnose: 'live'/'asyncio' "
+                           "(default) or 'live-tcp'/'tcp'")
+    diag.add_argument("--sharded", action="store_true",
+                      help="diagnose a sharded deployment")
+    diag.add_argument("--shards", type=int, default=2,
+                      help="number of consensus groups with --sharded "
+                           "(default: 2)")
+    diag.add_argument("--scale", choices=sorted(SCALES), default="small",
+                      help="deployment sizing (default: small)")
+    diag.add_argument("--seconds", type=float, default=2.0,
+                      help="wall-clock budget for the probe run (default: 2.0)")
+    diag.add_argument("--out", default="diagnostics.json", metavar="FILE",
+                      help="diagnostics bundle path (default: "
+                           "diagnostics.json)")
+    diag.add_argument("--trace", default=None, metavar="FILE",
+                      help="also write the probe run's trace events to FILE "
+                           "as JSON lines")
     return parser
 
 
@@ -147,8 +194,68 @@ def main(argv: Optional[list[str]] = None) -> int:
         return run_live(args)
     if args.command == "perf":
         return run_perf(args)
+    if args.command == "diag":
+        return run_diag(args)
     parser.print_help()
     return 2
+
+
+def _resolve_protocol(name: str) -> str:
+    """Canonical protocol name, accepting dash-less spellings."""
+    from .protocols.registry import PROTOCOLS
+
+    protocol = name.lower()
+    if protocol in PROTOCOLS:
+        return protocol
+    # Accept dash-less spellings like "flexibft" / "flexizz".
+    matches = [known for known in PROTOCOLS
+               if known.replace("-", "") == protocol.replace("-", "")]
+    if len(matches) != 1:
+        raise SystemExit(
+            f"unknown protocol {name!r}; known protocols: "
+            f"{', '.join(sorted(PROTOCOLS))}")
+    return matches[0]
+
+
+def _observe_from_args(args) -> "object | None":
+    """Build an ObservabilityConfig from ``repro live`` flags (None = off)."""
+    from .obsv import ObservabilityConfig
+
+    trace = getattr(args, "trace", None) is not None
+    health_interval = getattr(args, "health_interval", None)
+    stall_seconds = getattr(args, "stall_seconds", None)
+    collect_health = (health_interval is not None
+                      or getattr(args, "report", "table") == "json")
+    if not (trace or collect_health or stall_seconds is not None):
+        return None
+    return ObservabilityConfig(
+        trace=trace,
+        collect_health=collect_health,
+        health_interval_us=(None if health_interval is None
+                            else health_interval * 1_000_000.0),
+        stall_after_us=(None if stall_seconds is None
+                        else stall_seconds * 1_000_000.0))
+
+
+def _write_trace(deployment, path: Optional[str]) -> None:
+    if path and deployment.tracer is not None:
+        deployment.tracer.write_jsonl(path)
+        print(f"trace written: {path} ({len(deployment.tracer)} events, "
+              f"{deployment.tracer.dropped} dropped)")
+
+
+def _handle_stall(error, trace_path: Optional[str],
+                  diag_path: Optional[str]) -> int:
+    """Persist a StallError's diagnostics bundle and report the suspect."""
+    from .obsv import write_diagnostics
+
+    path = diag_path or "diagnostics.json"
+    write_diagnostics(error.diagnostics, path)
+    print(f"live run STALLED: {error}")
+    if error.suspect:
+        print(f"suspect replica: {error.suspect}")
+    print(f"diagnostics bundle written: {path}")
+    return 1
 
 
 def run_live(args) -> int:
@@ -158,22 +265,15 @@ def run_live(args) -> int:
     keys (a forged or unsigned reply fails the run), so a passing live run
     certifies end-to-end authenticity, not just liveness.
     """
+    import json
+
     from .backends import resolve_backend
-    from .protocols.registry import PROTOCOLS
+    from .common.errors import StallError
     from .realtime import ReplyVerifier
     from .runtime.experiments import build_config
     from .runtime.spec import DeploymentSpec
 
-    protocol = args.protocol.lower()
-    if protocol not in PROTOCOLS:
-        # Accept dash-less spellings like "flexibft" / "flexizz".
-        matches = [name for name in PROTOCOLS
-                   if name.replace("-", "") == protocol.replace("-", "")]
-        if len(matches) != 1:
-            raise SystemExit(
-                f"unknown protocol {args.protocol!r}; known protocols: "
-                f"{', '.join(sorted(PROTOCOLS))}")
-        protocol = matches[0]
+    protocol = _resolve_protocol(args.protocol)
     backend = resolve_backend(args.backend)
     if not backend.realtime:
         raise SystemExit(f"'repro live' needs a real-time backend; "
@@ -193,14 +293,20 @@ def run_live(args) -> int:
         wire_format = "pickle"
     spec = DeploymentSpec(config, backend=backend,
                           num_shards=args.shards if args.sharded else None,
-                          wire_format=wire_format)
+                          wire_format=wire_format,
+                          observe=_observe_from_args(args))
     cap_us = (None if args.max_seconds is None
               else args.max_seconds * 1_000_000.0)
     deployment = spec.build()
     try:
         verifier = ReplyVerifier(deployment)
-        result = deployment.run_until_target(target_requests=args.requests,
-                                             max_sim_time_us=cap_us)
+        try:
+            result = deployment.run_until_target(target_requests=args.requests,
+                                                 max_sim_time_us=cap_us)
+        except StallError as error:
+            _write_trace(deployment, args.trace)
+            return _handle_stall(error, args.trace, args.diag)
+        _write_trace(deployment, args.trace)
     finally:
         deployment.close()
     row = {"protocol": protocol, "backend": backend.name}
@@ -210,9 +316,24 @@ def run_live(args) -> int:
         completed = result.metrics.completed_requests
     row.update(result.as_row())
     shape = f"{args.shards} shards" if args.sharded else "single group"
-    print_rows(f"live {protocol} ({args.scale} sizing, {backend.name} "
-               f"backend, {shape})", [row])
-    print(f"client replies HMAC-verified: {verifier.verified}")
+    if args.report == "json":
+        report = {"title": f"live {protocol} ({args.scale} sizing, "
+                           f"{backend.name} backend, {shape})",
+                  "row": row,
+                  "replies_verified": verifier.verified,
+                  "health": (result.metrics.health
+                             if result.metrics.health is not None else {}),
+                  "health_samples": list(deployment.health_samples)}
+        if args.sharded:
+            report["verify_cache"] = result.metrics.verify_cache_report()
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print_rows(f"live {protocol} ({args.scale} sizing, {backend.name} "
+                   f"backend, {shape})", [row])
+        if args.sharded and result.metrics.shard_verify_cache:
+            print_rows("per-shard verification cache",
+                       result.metrics.verify_cache_report())
+        print(f"client replies HMAC-verified: {verifier.verified}")
     # A wedged backend times out with zero completions and clean safety bits
     # (the monitors saw nothing conflicting because they saw nothing at all);
     # completing no work is a failure, not a success.
@@ -223,6 +344,61 @@ def run_live(args) -> int:
         print("live run FAILED: no client reply was verified")
         return 1
     return 0 if result.consensus_safe and result.rsm_safe else 1
+
+
+def run_diag(args) -> int:
+    """Probe a live deployment and write a diagnostics bundle.
+
+    Runs the selected protocol/backend for a short wall-clock budget with
+    tracing and health sampling enabled, then snapshots kernel, queue,
+    connection and per-replica state into a JSON bundle — the same bundle
+    the stall watchdog emits, but taken from a healthy (or quietly wedged)
+    deployment on demand.
+    """
+    from .backends import resolve_backend
+    from .common.errors import StallError
+    from .obsv import ObservabilityConfig, snapshot_diagnostics, write_diagnostics
+    from .runtime.experiments import build_config
+    from .runtime.spec import DeploymentSpec
+
+    protocol = _resolve_protocol(args.protocol)
+    backend = resolve_backend(args.backend)
+    if not backend.realtime:
+        raise SystemExit(f"'repro diag' probes a real-time backend; "
+                         f"{args.backend!r} is the simulator")
+    config = build_config(protocol, SCALES[args.scale])
+    observe = ObservabilityConfig(
+        trace=True, collect_health=True,
+        health_interval_us=max(args.seconds * 1_000_000.0 / 10.0, 10_000.0))
+    spec = DeploymentSpec(config, backend=backend,
+                          num_shards=args.shards if args.sharded else None,
+                          observe=observe)
+    deployment = spec.build()
+    stalled: Optional[StallError] = None
+    try:
+        try:
+            deployment.run_until_target(
+                max_sim_time_us=args.seconds * 1_000_000.0)
+        except StallError as error:
+            stalled = error
+        bundle = (stalled.diagnostics if stalled is not None
+                  and stalled.diagnostics else
+                  snapshot_diagnostics(deployment, reason="manual probe"))
+        write_diagnostics(bundle, args.out)
+        _write_trace(deployment, args.trace)
+    finally:
+        deployment.close()
+    aggregate = bundle.get("aggregate", {})
+    print(f"diagnostics bundle written: {args.out}")
+    print(f"  replicas: {aggregate.get('replicas', 0)} "
+          f"(active: {aggregate.get('active', 0)}, "
+          f"recovering: {aggregate.get('recovering', 0)})")
+    if stalled is not None:
+        print(f"probe run stalled: {stalled}")
+        if stalled.suspect:
+            print(f"suspect replica: {stalled.suspect}")
+        return 1
+    return 0
 
 
 def _resolve_perf_selection(names: list[str],
@@ -285,16 +461,24 @@ def run_perf(args) -> int:
         print(trend_report(args.trend))
         return 0
     selection = _resolve_perf_selection(args.scenarios, args.scale)
+    as_json = args.report == "json"
     calibration = calibrate()
-    print(f"machine calibration: {calibration:.3f}s")
+    if not as_json:
+        print(f"machine calibration: {calibration:.3f}s")
     payloads = []
     for scenario, scale_name in selection:
         result = run_scenario(scenario, scale_name,
                               calibration_seconds=calibration)
-        print(format_result(result))
+        if not as_json:
+            print(format_result(result))
         path = write_bench_json(result, args.out)
-        print(f"  -> {path}")
+        if not as_json:
+            print(f"  -> {path}")
         payloads.append(result_payload(result))
+    if as_json:
+        print(json.dumps({"calibration_seconds": round(calibration, 4),
+                          "results": payloads},
+                         indent=2, sort_keys=True, default=str))
     # Check before update: with both flags pointing at one directory the
     # comparison must run against the *pre-existing* baselines (comparing
     # fresh results to their own just-written copies would always pass), and

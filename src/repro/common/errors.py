@@ -111,3 +111,21 @@ class SafetyViolation(ReproError):
 
 class LivenessViolation(ReproError):
     """An operation that should have completed did not within its deadline."""
+
+
+class StallError(LivenessViolation):
+    """A live run stopped making progress before its wall-clock cap.
+
+    Raised by the stall watchdog (or by the deployment when a run hits the
+    cap short of its target) instead of the old anonymous timeout.  Carries
+    the full diagnostics bundle the watchdog snapshotted — kernel heap size,
+    pending asyncio tasks, per-peer connection state, every replica's health
+    — plus the name of the replica the snapshot points at as the most likely
+    culprit, so a failed live run is self-diagnosing.
+    """
+
+    def __init__(self, message: str, suspect: "str | None" = None,
+                 diagnostics: "dict | None" = None) -> None:
+        super().__init__(message)
+        self.suspect = suspect
+        self.diagnostics = diagnostics if diagnostics is not None else {}

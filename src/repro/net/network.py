@@ -138,6 +138,21 @@ class Network:
         self._nodes: dict[str, NetworkNode] = {}
         self._rules: list[MessageRule] = []
         self.stats = NetworkStats()
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a structured-event tracer."""
+        self._tracer = tracer
+
+    def connection_states(self) -> dict:
+        """Transport connection snapshot for diagnostics bundles.
+
+        The base transport delivers through the kernel, so there is nothing
+        to connect; the TCP transport overrides this with real per-peer
+        socket state (including peer addresses).
+        """
+        return {"transport": type(self).__name__,
+                "nodes": sorted(self._nodes)}
 
     # ----------------------------------------------------------- membership
     def register(self, node: NetworkNode) -> None:
@@ -175,6 +190,10 @@ class Network:
                     rule.hits += 1
                     if rule.drop:
                         stats.messages_dropped += 1
+                        tracer = self._tracer
+                        if tracer is not None:
+                            tracer.record("msg.drop", node=destination,
+                                          detail=type(payload).__name__)
                         return
                     extra_delay += rule.extra_delay_us
             if extra_delay > 0:
@@ -190,7 +209,15 @@ class Network:
         target = self._nodes.get(destination)
         if target is None:
             self.stats.messages_dropped += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.record("msg.drop", node=destination,
+                              detail=type(payload).__name__)
             return
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("msg.send", node=source,
+                          detail=type(payload).__name__)
         self._schedule_delivery(target, envelope)
 
     def _schedule_delivery(self, target: NetworkNode, envelope: Envelope) -> None:
@@ -211,6 +238,10 @@ class Network:
 
     def _deliver(self, node: NetworkNode, envelope: Envelope) -> None:
         self.stats.messages_delivered += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("msg.recv", node=envelope.destination,
+                          detail=type(envelope.payload).__name__)
         node.receive(envelope)
 
     # ---------------------------------------------------- adversary control

@@ -59,7 +59,9 @@ class TcpTransport(Network):
         self._queues: Dict[str, asyncio.Queue] = {}
         self._tasks: List[asyncio.Task] = []
         self._writers: List[asyncio.StreamWriter] = []
+        self._peer_writers: Dict[str, asyncio.StreamWriter] = {}
         self._server_writers: List[asyncio.StreamWriter] = []
+        self._accepted_peers: List[str] = []
         self._closed = False
 
     # ------------------------------------------------------------- delivery
@@ -78,7 +80,8 @@ class TcpTransport(Network):
             queue = asyncio.Queue()
             self._queues[envelope.destination] = queue
             self._tasks.append(loop.create_task(
-                self._send_loop(queue), name=f"tcp-send/{envelope.destination}"))
+                self._send_loop(envelope.destination, queue),
+                name=f"tcp-send/{envelope.destination}"))
         queue.put_nowait(envelope)
 
     async def _serve(self) -> None:
@@ -104,6 +107,12 @@ class TcpTransport(Network):
                                  writer: asyncio.StreamWriter) -> None:
         """Read length-prefixed frames off one peer connection."""
         self._server_writers.append(writer)
+        self._accepted_peers.append(_format_peer(
+            writer.get_extra_info("peername")))
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("tcp.accept", node="tcp-server",
+                          detail=self._accepted_peers[-1])
         try:
             while True:
                 try:
@@ -151,7 +160,7 @@ class TcpTransport(Network):
         self._kernel.schedule_at(envelope.delivered_at,
                                  partial(self._deliver, target, envelope))
 
-    async def _send_loop(self, queue: asyncio.Queue) -> None:
+    async def _send_loop(self, destination: str, queue: asyncio.Queue) -> None:
         """Write queued envelopes to this destination's connection, in order."""
         try:
             await self._server_ready.wait()
@@ -164,6 +173,12 @@ class TcpTransport(Network):
             self._kernel.fail(exc)
             return
         self._writers.append(writer)
+        self._peer_writers[destination] = writer
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("tcp.connect", node=destination,
+                          detail=_format_peer(
+                              writer.get_extra_info("sockname")))
         try:
             while True:
                 envelope = await queue.get()
@@ -194,6 +209,7 @@ class TcpTransport(Network):
         self._tasks.clear()
         self._queues.clear()
         self._writers.clear()
+        self._peer_writers.clear()
         self._server_writers.clear()
         loop = self._kernel.loop
         if (server is not None or writers) and not loop.is_closed():
@@ -233,3 +249,38 @@ class TcpTransport(Network):
     def queued_messages(self) -> int:
         """Envelopes waiting for their destination's sender task right now."""
         return sum(queue.qsize() for queue in self._queues.values())
+
+    def connection_states(self) -> dict:
+        """Per-peer socket state, with addresses, for diagnostics bundles.
+
+        A destination whose sender task has not finished connecting shows as
+        ``connecting`` — exactly the signature of a run wedged on a dead
+        accept loop — and a stalled peer shows its backed-up send queue.
+        """
+        destinations = {}
+        for destination, queue in sorted(self._queues.items()):
+            writer = self._peer_writers.get(destination)
+            if writer is None:
+                state = {"state": "connecting", "peer": None}
+            else:
+                state = {
+                    "state": "closing" if writer.is_closing() else "open",
+                    "peer": _format_peer(writer.get_extra_info("peername")),
+                }
+            state["queued"] = queue.qsize()
+            destinations[destination] = state
+        return {
+            "transport": type(self).__name__,
+            "port": self._port,
+            "destinations": destinations,
+            "accepted_peers": list(self._accepted_peers),
+        }
+
+
+def _format_peer(address) -> str:
+    """Render a socket address tuple (or None) as ``host:port``."""
+    if address is None:
+        return "unknown"
+    if isinstance(address, tuple) and len(address) >= 2:
+        return f"{address[0]}:{address[1]}"
+    return str(address)

@@ -1,0 +1,38 @@
+"""Observability layer: structured tracing, health surfaces, stall watchdog.
+
+Three facilities, all off by default and free when disabled:
+
+- :mod:`~repro.obsv.trace` — a bounded ring buffer of typed events with
+  allocation-free disabled hooks in the kernels, transports and protocol
+  base class.
+- :mod:`~repro.obsv.health` — per-replica and per-deployment state
+  snapshots, folded into metrics rows when collection is on.
+- :mod:`~repro.obsv.watchdog` — an in-kernel stall detector for live runs
+  that converts the anonymous wall-clock timeout into a typed
+  :class:`~repro.common.errors.StallError` carrying a diagnostics bundle.
+
+Enable any of them by passing an :class:`ObservabilityConfig` to a
+deployment (or ``DeploymentSpec(observe=...)``), or from the CLI via
+``repro live --trace FILE --health-interval S``.
+"""
+
+from .health import (DeploymentHealth, HealthSampler, ObservabilityConfig,
+                     ReplicaHealth)
+from .trace import DEFAULT_TRACE_CAPACITY, TraceEvent, Tracer
+from .watchdog import (StallWatchdog, deployment_health, diagnose_suspect,
+                       snapshot_diagnostics, write_diagnostics)
+
+__all__ = [
+    "DEFAULT_TRACE_CAPACITY",
+    "DeploymentHealth",
+    "HealthSampler",
+    "ObservabilityConfig",
+    "ReplicaHealth",
+    "StallWatchdog",
+    "TraceEvent",
+    "Tracer",
+    "deployment_health",
+    "diagnose_suspect",
+    "snapshot_diagnostics",
+    "write_diagnostics",
+]

@@ -1,0 +1,119 @@
+"""Low-overhead structured tracing: a bounded ring buffer of typed events.
+
+A :class:`Tracer` timestamps every event off the deployment's kernel clock
+and appends it to a fixed-capacity ring (oldest events are evicted, never
+blocked on), so tracing a live run costs one deque append per event and can
+be left on for the whole run.  Per-kind counters survive ring eviction, so
+event totals stay exact even when the ring wraps.
+
+Tracing is **off by default** and the disabled path allocates nothing: every
+hook site in the kernel, transport and protocol layers reads its ``_tracer``
+attribute once and branches on ``is not None`` — no dict, no f-string, no
+call — so simulated runs with tracing disabled execute byte-identically to
+a build without the hooks (``tests/unit/test_trace_noop_lint.py`` enforces
+the guard shape on the AST).
+
+Event kinds (the wire-visible schema; see README "Observability"):
+
+========================= ==================================================
+kind                      emitted when
+========================= ==================================================
+``msg.send``              a payload enters the transport
+``msg.drop``              a rule (or missing destination) discarded it
+``msg.recv``              the destination's ``receive`` was invoked
+``view.change``           a replica voted to replace the primary
+``view.installed``        a replica entered a new view
+``checkpoint.stable``     a checkpoint reached its ``f+1`` quorum
+``replica.crash``         a replica crashed (fault injection or schedule)
+``replica.restart``       a seat was rebuilt with a fresh incarnation
+``recovery.start``        a rejoining replica began state transfer
+``recovery.done``         it caught up and rejoined consensus
+``transfer.batch``        a state-transfer fill batch was applied
+``tcp.connect``           a TCP sender connected to the transport's port
+``tcp.accept``            the accept loop took a peer connection
+``kernel.run``            a kernel run started
+``kernel.stop``           it stopped (cap, stop condition, or idle)
+``kernel.error``          a fatal error was recorded on the live kernel
+========================= ==================================================
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:
+    from ..kernel import Kernel
+
+#: default ring capacity; at protocol message rates this holds the last few
+#: seconds of a live run, which is what a stall post-mortem needs.
+DEFAULT_TRACE_CAPACITY = 65_536
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One traced occurrence: kernel timestamp, kind, and typed context."""
+
+    time_us: float
+    kind: str
+    node: str = ""
+    detail: str = ""
+    seq: int = -1
+    view: int = -1
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form (used by the JSONL export)."""
+        return asdict(self)
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent`, clocked by one kernel."""
+
+    def __init__(self, kernel: "Kernel",
+                 capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self._kernel = kernel
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: exact per-kind totals, unaffected by ring eviction.
+        self.counts: dict[str, int] = {}
+        self.total = 0
+
+    # ------------------------------------------------------------- recording
+    def record(self, kind: str, node: str = "", detail: str = "",
+               seq: int = -1, view: int = -1) -> None:
+        """Append one event stamped with the kernel's current time."""
+        self._events.append(TraceEvent(
+            time_us=self._kernel.now, kind=kind, node=node, detail=detail,
+            seq=seq, view=view))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.total += 1
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring (recorded but no longer retained)."""
+        return self.total - len(self._events)
+
+    def events(self, kind: Optional[str] = None,
+               node: Optional[str] = None) -> list[TraceEvent]:
+        """Retained events, optionally filtered by kind and/or node."""
+        return [event for event in self._events
+                if (kind is None or event.kind == kind)
+                and (node is None or event.node == node)]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    # --------------------------------------------------------------- export
+    def write_jsonl(self, path: str) -> int:
+        """Write retained events as JSON lines; returns the count written."""
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in self._events:
+                handle.write(json.dumps(event.as_dict(), sort_keys=True))
+                handle.write("\n")
+        return len(self._events)

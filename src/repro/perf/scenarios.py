@@ -325,6 +325,67 @@ scenario_live_recovery.fixed_scale = "smoke"
 
 
 # ---------------------------------------------------------------------------
+# observability overhead
+# ---------------------------------------------------------------------------
+#: sizing of the observability-overhead run; fixed so the traced/untraced
+#: comparison is the same deployment at every requested scale.
+_OBSV_EXPERIMENT = ExperimentScale(
+    name="obsv-overhead", f=1, num_clients=40, batch_size=10,
+    warmup_batches=2, measured_batches=6, worker_threads=8,
+    max_sim_seconds=20.0)
+
+
+def scenario_obsv_overhead(scale: PerfScale) -> list[dict]:
+    """Tracing + health collection must observe a run, never change it.
+
+    Runs the same simulated deployment twice — once bare, once with the
+    trace ring and health collection enabled — and pins three facts into
+    deterministic rows: (1) the traced run's result row, stripped of its
+    ``health_`` columns, is byte-identical to the untraced row
+    (``rows_match``), so tracing is purely observational; (2) the per-kind
+    trace event counts, which are a pure function of simulated behaviour;
+    (3) the end-of-run aggregated health columns themselves.  The *wall
+    clock* side of the ≤5% overhead claim is asserted by
+    ``benchmarks/test_obsv_overhead.py``, which times both paths.
+    """
+    from ..obsv import ObservabilityConfig
+    from ..runtime.deployment import Deployment
+
+    config = build_config("flexi-bft", _OBSV_EXPERIMENT)
+    baseline = run_point(config)
+    base_row = {"mode": "untraced"}
+    base_row.update(baseline.as_row())
+
+    observe = ObservabilityConfig(trace=True, collect_health=True)
+    deployment = Deployment(config, observe=observe)
+    try:
+        traced = deployment.run_until_target()
+        tracer = deployment.tracer
+        traced_full = traced.as_row()
+        traced_row = {"mode": "traced"}
+        traced_row.update(traced_full)
+        stripped = {key: value for key, value in traced_full.items()
+                    if not key.startswith("health_")}
+        summary = {
+            "mode": "summary",
+            "rows_match": stripped == baseline.as_row(),
+            "trace_events": tracer.total,
+            "trace_retained": len(tracer),
+            "trace_dropped": tracer.dropped,
+        }
+        for kind in sorted(tracer.counts):
+            summary[f"count_{kind.replace('.', '_')}"] = tracer.counts[kind]
+    finally:
+        deployment.close()
+    return [base_row, traced_row, summary]
+
+
+#: like the live scenarios, the comparison runs its own fixed sizing, so its
+#: results are always labeled (and baselined) as smoke scale.
+scenario_obsv_overhead.fixed_scale = "smoke"
+
+
+# ---------------------------------------------------------------------------
 # substrate microbenchmarks
 # ---------------------------------------------------------------------------
 def scenario_kernel(scale: PerfScale) -> list[dict]:
@@ -507,6 +568,7 @@ SCENARIOS: dict[str, object] = {
     "live_smoke": scenario_live_smoke,
     "live_fig1": scenario_live_fig1,
     "live_recovery": scenario_live_recovery,
+    "obsv_overhead": scenario_obsv_overhead,
     "kernel": scenario_kernel,
     "network": scenario_network,
     "crypto": scenario_crypto,

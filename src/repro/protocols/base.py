@@ -105,6 +105,10 @@ class ReplicaContext:
     #: durable storage of this replica seat; survives crash/restart cycles.
     store: Optional[DurableStore] = None
     recovery_config: RecoveryConfig = field(default_factory=RecoveryConfig)
+    #: structured-event tracer; None (the default) keeps every hook site an
+    #: allocation-free ``is not None`` check, so simulated digests are
+    #: byte-identical with tracing disabled.
+    tracer: Optional[object] = None
 
 
 @dataclass(slots=True)
@@ -180,6 +184,7 @@ class BaseReplica:
         self.workers = WorkerPool(ctx.sim, self.config.worker_threads,
                                   name=f"{self.name}/workers")
         self.stats = ReplicaStats()
+        self._tracer = ctx.tracer
 
         # Protocol state.
         self.view: ViewNum = 0
@@ -252,11 +257,66 @@ class BaseReplica:
         """Names of all other replicas."""
         return [n for n in self.ctx.replica_names if n != self.name]
 
+    # ----------------------------------------------------------------- health
+    def health(self):
+        """Snapshot this replica's runtime state, without side effects.
+
+        Everything a stall post-mortem asks about one replica — queue
+        depths, view, execution and checkpoint frontiers, trusted-counter
+        value, verify-cache hit rate — in one frozen
+        :class:`~repro.obsv.health.ReplicaHealth`.  ``verify_hit_rate`` is
+        the deployment-wide key store's rate (the store is shared), and
+        ``trusted_counter`` is the larger of the replica's trust-bft and
+        FlexiTrust counter 0 values (-1 when the protocol runs no trusted
+        component).
+        """
+        from ..obsv.health import ReplicaHealth
+
+        trusted = self.trusted
+        if trusted is None:
+            trusted_counter = -1
+            trusted_accesses = 0
+        else:
+            trusted_counter = max(trusted.counters.value(0),
+                                  trusted.flexi.value(0))
+            trusted_accesses = trusted.stats.total
+        return ReplicaHealth(
+            name=self.name,
+            replica_id=self.replica_id,
+            protocol=self.protocol_name,
+            active=self.active,
+            recovering=self.recovering,
+            is_primary=self.is_primary,
+            in_view_change=self.in_view_change,
+            view=self.view,
+            last_executed=self.ledger.last_executed,
+            stable_checkpoint=self.ledger.stable_checkpoint,
+            checkpoint_lag=self.ledger.last_executed - self.ledger.stable_checkpoint,
+            next_seq=self.next_seq,
+            pending_requests=len(self.pending_requests),
+            executable=len(self.executable),
+            instances=len(self.instances),
+            in_flight=len(self.in_flight),
+            worker_queue=self.workers.queued_jobs,
+            busy_workers=self.workers.busy_workers,
+            messages_processed=self.stats.messages_processed,
+            batches_executed=self.stats.batches_executed,
+            view_changes_started=self.stats.view_changes_started,
+            checkpoints_taken=self.stats.checkpoints_taken,
+            trusted_counter=trusted_counter,
+            trusted_accesses=trusted_accesses,
+            verify_hit_rate=round(self.ctx.keystore.stats.hit_rate, 4),
+        )
+
     # ------------------------------------------------------------- fault API
     def crash(self) -> None:
         """Stop processing and sending messages (crash fault)."""
         self.fault_kind = FaultKind.CRASHED
         self.active = False
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("replica.crash", node=self.name, view=self.view,
+                          seq=self.ledger.last_executed)
         # A dead replica's timers must not fire: the seat may be rebuilt and
         # the stale object must stay inert.
         self.batch_timer.cancel()
@@ -782,6 +842,10 @@ class BaseReplica:
             self.ledger.mark_stable(checkpoint.seq)
             self.ledger.truncate_below(checkpoint.seq - self.config.checkpoint_interval)
             self.stats.checkpoints_taken += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.record("checkpoint.stable", node=self.name,
+                              seq=checkpoint.seq, view=self.view)
             if (self.store is not None
                     and self.ledger.checkpoint_digest(checkpoint.seq)
                     == checkpoint.state_digest):
@@ -837,6 +901,10 @@ class BaseReplica:
             return
         self.recovering = True
         self.stats.recoveries_started += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("recovery.start", node=self.name, view=self.view,
+                          seq=self.ledger.last_executed)
         self._transfer = StateTransferSession(f=self.f, started_at=self.sim.now)
         self._replay_local_store()
         self._request_state_transfer()
@@ -1044,6 +1112,10 @@ class BaseReplica:
             if inst is not None and inst.committed:
                 continue
             self.stats.log_fill_batches_applied += 1
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.record("transfer.batch", node=self.name,
+                              seq=entry.seq, view=entry.view)
             self.mark_committed(entry.seq, entry.batch, entry.view)
         session.prune_fills(self.ledger.last_executed)
 
@@ -1066,6 +1138,10 @@ class BaseReplica:
         self.recovery_timer.cancel()
         self.stats.recoveries_completed += 1
         self.recovered_at = self.sim.now
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("recovery.done", node=self.name, view=self.view,
+                          seq=self.ledger.last_executed)
         if session is not None and session.target_view > self.view:
             self.enter_view(session.target_view)
         self.next_seq = max(self.next_seq, self.ledger.last_executed,
@@ -1105,6 +1181,10 @@ class BaseReplica:
             return
         self.in_view_change = True
         self.stats.view_changes_started += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("view.change", node=self.name, view=new_view,
+                          seq=self.ledger.last_executed)
         proofs = tuple(self.collect_view_change_proofs())
         vc = self.signed(ViewChange(
             new_view=new_view, replica=self.replica_id,
@@ -1241,6 +1321,10 @@ class BaseReplica:
     def enter_view(self, view: ViewNum) -> None:
         """Switch to ``view`` and reset view-change state."""
         self.view = max(self.view, view)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("view.installed", node=self.name, view=self.view,
+                          seq=self.ledger.last_executed)
         self.in_view_change = False
         self.progress_timer.cancel()
         self.in_flight.clear()

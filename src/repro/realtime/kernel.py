@@ -73,6 +73,16 @@ class AsyncioKernel:
         self._error: Optional[BaseException] = None
         self._stop_when: Optional[Callable[[], bool]] = None
         self._stop_requested = False
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a structured-event tracer."""
+        self._tracer = tracer
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included (diagnostics only)."""
+        return len(self._heap)
 
     # -------------------------------------------------------------- kernel
     @property
@@ -175,6 +185,10 @@ class AsyncioKernel:
         """Record a fatal error; the next :meth:`run_until` poll re-raises it."""
         if self._error is None:
             self._error = error
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.record("kernel.error", node="live",
+                              detail=type(error).__name__)
 
     # -------------------------------------------------------------- driving
     def run_until(self, stop_when: Callable[[], bool],
@@ -189,6 +203,9 @@ class AsyncioKernel:
         self._running = True
         self._stop_when = stop_when
         self._stop_requested = False
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("kernel.run", node="live")
         self._arm()  # re-arm events a previous run's stop left queued
 
         async def _drive() -> None:
@@ -202,6 +219,9 @@ class AsyncioKernel:
         finally:
             self._running = False
             self._stop_when = None
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.record("kernel.stop", node="live")
         if self._error is not None:
             error, self._error = self._error, None
             raise error

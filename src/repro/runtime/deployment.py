@@ -28,11 +28,13 @@ counter comes back at zero, which is the paper's Section 6 rollback surface.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Union
 
 from ..backends import Backend, resolve_backend
 from ..common.config import DeploymentConfig, sequential_variant
+from ..common.errors import StallError
 from ..common.types import ConsensusMode, Micros
 from ..crypto.keystore import KeyStore
 from ..execution.kvstore import KeyValueStore
@@ -40,6 +42,10 @@ from ..execution.safety import SafetyMonitor
 from ..kernel import Kernel
 from ..net.network import Network
 from ..net.topology import Topology, build_topology
+from ..obsv.health import DeploymentHealth, HealthSampler, ObservabilityConfig
+from ..obsv.trace import Tracer
+from ..obsv.watchdog import (StallWatchdog, deployment_health,
+                             snapshot_diagnostics)
 from ..protocols.base import BaseReplica, ReplicaContext
 from ..protocols.registry import ProtocolSpec, get_protocol
 from ..recovery.schedule import FaultSchedule
@@ -114,7 +120,9 @@ class Deployment:
                  name_prefix: str = "",
                  build_clients: bool = True,
                  fault_schedule: Optional[FaultSchedule] = None,
-                 backend: Union[str, Backend, None] = None) -> None:
+                 backend: Union[str, Backend, None] = None,
+                 observe: Optional[ObservabilityConfig] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.config = config
         self.backend = resolve_backend(backend)
         self.spec = spec if spec is not None else get_protocol(config.protocol)
@@ -145,6 +153,21 @@ class Deployment:
                                   config.network.intra_region_latency_us)
         self.topology = topology
         self.network = self._build_network(topology)
+
+        # Observability: one tracer per timeline.  A sharded deployment
+        # builds the tracer once and hands it to every group; a standalone
+        # deployment builds its own when tracing is enabled.  With no tracer
+        # every hook in the kernel/transport/protocol stack stays a None
+        # check, so default runs are byte-identical to pre-tracing builds.
+        self.observe = observe if observe is not None else ObservabilityConfig()
+        self.tracer = tracer
+        if self.tracer is None and self.observe.trace:
+            self.tracer = Tracer(self.sim,
+                                 capacity=self.observe.trace_capacity)
+        if self.tracer is not None:
+            self.sim.set_tracer(self.tracer)
+            self.network.set_tracer(self.tracer)
+        self.health_samples: list[dict] = []
 
         byzantine = set(config.faults.byzantine)
         crashed = set(config.faults.crashed)
@@ -223,7 +246,8 @@ class Deployment:
             trusted_spec=self.config.trusted_hardware,
             one_way_latency_us=self._typical_one_way_latency(),
             store=self.stores[replica_id],
-            recovery_config=self.config.recovery)
+            recovery_config=self.config.recovery,
+            tracer=self.tracer)
         if replica_factory is not None:
             return replica_factory(replica_id, ctx)
         return self.spec.build_replica(replica_id, ctx)
@@ -262,11 +286,20 @@ class Deployment:
         if max_sim_time_us is None:
             max_sim_time_us = experiment.max_sim_time_us
         self.start_clients()
-        self.backend.run(
-            self.sim, until_us=max_sim_time_us,
-            stop_when=lambda: self.metrics.completed_count >= target_requests)
-        if self.backend.realtime:
-            self.stop_clients()
+        watchdog = self._arm_watchdog(max_sim_time_us)
+        sampler = self._start_health_sampler()
+        try:
+            self.backend.run(
+                self.sim, until_us=max_sim_time_us,
+                stop_when=lambda: self.metrics.completed_count >= target_requests)
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+            if sampler is not None:
+                sampler.stop()
+            if self.backend.realtime:
+                self.stop_clients()
+        self._check_live_progress(target_requests)
         return self.collect_result(measurement_warmup_fraction(experiment))
 
     def run_for(self, duration_us: Micros) -> RunResult:
@@ -284,6 +317,71 @@ class Deployment:
         else:
             self.backend.run_for(self.sim, duration_us)
         return self.collect_result(warmup_fraction=0.0)
+
+    # -------------------------------------------------------- observability
+    def health(self) -> DeploymentHealth:
+        """Snapshot every replica's health plus kernel state, right now."""
+        return deployment_health(self)
+
+    def _arm_watchdog(self, cap_us: Optional[Micros]) -> Optional[StallWatchdog]:
+        """Arm the stall watchdog on live backends (None on the simulator).
+
+        On the simulator a wedged run simply drains its event queue and
+        stops — no wall-clock is lost and determinism forbids extra events.
+        On a live backend the same wedge burns real seconds until the cap,
+        so the watchdog fires as soon as ``stall_after_us`` passes with zero
+        completed requests: by default a third of the cap, clamped to
+        [0.5s, 10s], or exactly ``observe.stall_after_us`` when set.
+        """
+        if not self.backend.realtime:
+            return None
+        stall_after = self.observe.stall_after_us
+        if stall_after is None:
+            cap = cap_us if cap_us is not None else 30_000_000.0
+            stall_after = min(10_000_000.0, max(500_000.0, cap / 3.0))
+        watchdog = StallWatchdog(
+            self.sim, progress=lambda: self.metrics.completed_count,
+            stall_after_us=stall_after, on_stall=self._on_stall)
+        watchdog.arm()
+        return watchdog
+
+    def _on_stall(self, watchdog: StallWatchdog) -> None:
+        """Watchdog callback: snapshot diagnostics, fail the run typed."""
+        seconds = watchdog.stalled_for_us / 1_000_000.0
+        bundle = snapshot_diagnostics(
+            self, reason=f"no completed request for {seconds:.1f}s "
+            f"(stall threshold {watchdog.stall_after_us / 1_000_000.0:.1f}s)")
+        suspect = bundle["suspect"]
+        self.sim.fail(StallError(
+            f"live run stalled: {bundle['reason']}; suspect {suspect} "
+            f"({bundle['suspect_reason']})",
+            suspect=suspect, diagnostics=bundle))
+
+    def _start_health_sampler(self) -> Optional[HealthSampler]:
+        """Start periodic health sampling when an interval is configured."""
+        interval = self.observe.health_interval_us
+        if interval is None:
+            return None
+        sampler = HealthSampler(self.sim, self.health, interval)
+        sampler.start()
+        self.health_samples = sampler.samples
+        return sampler
+
+    def _check_live_progress(self, target_requests: int) -> None:
+        """Turn a capped-but-short live run into a typed, diagnosed failure."""
+        if not self.backend.realtime:
+            return
+        completed = self.metrics.completed_count
+        if completed >= target_requests:
+            return
+        bundle = snapshot_diagnostics(
+            self, reason=f"wall-clock cap hit at {completed}/{target_requests} "
+            "completed requests")
+        raise StallError(
+            f"live run hit its wall-clock cap at {completed}/{target_requests} "
+            f"completed requests; suspect {bundle['suspect']} "
+            f"({bundle['suspect_reason']})",
+            suspect=bundle["suspect"], diagnostics=bundle)
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -308,8 +406,12 @@ class Deployment:
         trusted_accesses = sum(
             replica.trusted.stats.total
             for replica in self.replicas if replica.trusted is not None)
+        metrics = self.metrics.summarise(warmup_fraction)
+        if self.observe.collect_health:
+            metrics = dataclasses.replace(
+                metrics, health=self.health().aggregate())
         return RunResult(
-            metrics=self.metrics.summarise(warmup_fraction),
+            metrics=metrics,
             sim_time_s=self.sim.now / 1_000_000.0,
             events=self.sim.events_processed,
             messages_sent=self.network.stats.messages_sent,
@@ -356,6 +458,9 @@ class Deployment:
                                       trusted_override=trusted_override)
         self.replicas[replica_id] = replica
         self.network.register(replica)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record("replica.restart", node=replica.name)
         if recover:
             delay = store.replay_cost_us() if store is not None else 0.0
             if delay > 0:

@@ -96,16 +96,25 @@ class RunMetrics:
     mean_latency_ms: float = 0.0
     p50_latency_ms: float = 0.0
     p99_latency_ms: float = 0.0
+    #: end-of-run aggregated deployment health
+    #: (:meth:`~repro.obsv.health.DeploymentHealth.aggregate`); populated
+    #: only when the deployment collects health, so the default row schema —
+    #: and every committed determinism digest over it — is unchanged.
+    health: Optional[dict] = None
 
     def as_row(self) -> dict:
         """Flat dictionary form used by the benchmark harness tables."""
-        return {
+        row = {
             "throughput_tx_s": round(self.throughput_tx_s, 1),
             "mean_latency_ms": round(self.mean_latency_ms, 3),
             "p50_latency_ms": round(self.p50_latency_ms, 3),
             "p99_latency_ms": round(self.p99_latency_ms, 3),
             "completed_requests": self.completed_requests,
         }
+        if self.health is not None:
+            for key, value in self.health.items():
+                row[f"health_{key}"] = value
+        return row
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:

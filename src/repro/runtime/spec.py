@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Optional, Union
 from ..backends import Backend, resolve_backend
 from ..common.config import DeploymentConfig
 from ..common.errors import ConfigurationError
+from ..obsv.health import ObservabilityConfig
 from ..recovery.schedule import FaultSchedule
 from .deployment import Deployment
 
@@ -58,6 +59,10 @@ class DeploymentSpec:
     #: ``--unsafe-pickle`` escape hatch).  ``None`` keeps the backend's own
     #: default; setting it on an in-memory backend is a configuration error.
     wire_format: Optional[str] = None
+    #: what the deployment observes about itself (tracing, health sampling,
+    #: stall threshold); ``None`` keeps everything off — the zero-overhead
+    #: default whose simulated digests match pre-observability builds.
+    observe: Optional[ObservabilityConfig] = None
 
     @property
     def sharded(self) -> bool:
@@ -84,7 +89,8 @@ class DeploymentSpec:
         if not self.sharded:
             return Deployment(self.config,
                               fault_schedule=self.fault_schedule,
-                              backend=backend)
+                              backend=backend,
+                              observe=self.observe)
         # Imported lazily: repro.sharding builds on repro.runtime.
         from ..sharding.config import ShardedConfig
         from ..sharding.deployment import ShardedDeployment
@@ -94,7 +100,8 @@ class DeploymentSpec:
             num_clients=self.num_clients, router_seed=self.router_seed)
         return ShardedDeployment(sharded_config,
                                  fault_schedules=self.fault_schedules or None,
-                                 backend=backend)
+                                 backend=backend,
+                                 observe=self.observe)
 
 
 def build_from_spec(spec: DeploymentSpec) -> Union[Deployment, "ShardedDeployment"]:

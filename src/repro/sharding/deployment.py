@@ -15,13 +15,19 @@ primary, so a crash or view change in one shard leaves the others untouched.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from ..backends import Backend, resolve_backend
-from ..common.errors import ConfigurationError
+from ..common.errors import ConfigurationError, StallError
 from ..common.types import Micros
 from ..crypto.keystore import KeyStore, KeyStoreStats
+from ..obsv.health import (DeploymentHealth, HealthSampler,
+                           ObservabilityConfig)
+from ..obsv.trace import Tracer
+from ..obsv.watchdog import (StallWatchdog, deployment_health,
+                             snapshot_diagnostics)
 from ..recovery.schedule import FaultSchedule
 from ..runtime.deployment import (
     Deployment,
@@ -89,12 +95,22 @@ class ShardedDeployment:
 
     def __init__(self, config: ShardedConfig,
                  fault_schedules: Optional[dict[int, FaultSchedule]] = None,
-                 backend: Union[str, Backend, None] = None) -> None:
+                 backend: Union[str, Backend, None] = None,
+                 observe: Optional[ObservabilityConfig] = None) -> None:
         config.validate()
         self.config = config
         self.backend = resolve_backend(backend)
         self.num_shards = config.num_shards
         self.sim = self.backend.build_kernel()
+        # One tracer for the whole timeline: every group's transport and
+        # replicas record into the same ring, distinguished by node names
+        # (the ``shard<K>/`` prefix).
+        self.observe = observe if observe is not None else ObservabilityConfig()
+        self.tracer = (Tracer(self.sim, capacity=self.observe.trace_capacity)
+                       if self.observe.trace else None)
+        if self.tracer is not None:
+            self.sim.set_tracer(self.tracer)
+        self.health_samples: list[dict] = []
         base_seed = config.base.experiment.seed
         self.rng = RngRegistry(base_seed)
         self.keystore = KeyStore(seed=base_seed)
@@ -135,7 +151,7 @@ class ShardedDeployment:
                 keystore=self.keystore,
                 name_prefix=f"shard{shard}/", build_clients=False,
                 fault_schedule=self.fault_schedules.get(shard),
-                backend=self.backend))
+                backend=self.backend, tracer=self.tracer))
 
         self.clients: list[ShardedClient] = []
         for index in range(config.effective_num_clients):
@@ -177,11 +193,20 @@ class ShardedDeployment:
         if max_sim_time_us is None:
             max_sim_time_us = experiment.max_sim_time_us
         self.start_clients()
-        self.backend.run(
-            self.sim, until_us=max_sim_time_us,
-            stop_when=lambda: self.metrics.completed_count >= target_requests)
-        if self.backend.realtime:
-            self.stop_clients()
+        watchdog = self._arm_watchdog(max_sim_time_us)
+        sampler = self._start_health_sampler()
+        try:
+            self.backend.run(
+                self.sim, until_us=max_sim_time_us,
+                stop_when=lambda: self.metrics.completed_count >= target_requests)
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+            if sampler is not None:
+                sampler.stop()
+            if self.backend.realtime:
+                self.stop_clients()
+        self._check_live_progress(target_requests)
         return self.collect_result(measurement_warmup_fraction(experiment))
 
     def run_for(self, duration_us: Micros) -> ShardedRunResult:
@@ -193,6 +218,63 @@ class ShardedDeployment:
         else:
             self.backend.run_for(self.sim, duration_us)
         return self.collect_result(warmup_fraction=0.0)
+
+    # -------------------------------------------------------- observability
+    def health(self) -> DeploymentHealth:
+        """Snapshot every group's replicas plus kernel state, right now."""
+        return deployment_health(self)
+
+    def _arm_watchdog(self, cap_us: Optional[Micros]) -> Optional[StallWatchdog]:
+        """Arm the stall watchdog on live backends (None on the simulator)."""
+        if not self.backend.realtime:
+            return None
+        stall_after = self.observe.stall_after_us
+        if stall_after is None:
+            cap = cap_us if cap_us is not None else 30_000_000.0
+            stall_after = min(10_000_000.0, max(500_000.0, cap / 3.0))
+        watchdog = StallWatchdog(
+            self.sim, progress=lambda: self.metrics.completed_count,
+            stall_after_us=stall_after, on_stall=self._on_stall)
+        watchdog.arm()
+        return watchdog
+
+    def _on_stall(self, watchdog: StallWatchdog) -> None:
+        """Watchdog callback: snapshot diagnostics, fail the run typed."""
+        seconds = watchdog.stalled_for_us / 1_000_000.0
+        bundle = snapshot_diagnostics(
+            self, reason=f"no completed request for {seconds:.1f}s "
+            f"(stall threshold {watchdog.stall_after_us / 1_000_000.0:.1f}s)")
+        suspect = bundle["suspect"]
+        self.sim.fail(StallError(
+            f"live sharded run stalled: {bundle['reason']}; suspect {suspect} "
+            f"({bundle['suspect_reason']})",
+            suspect=suspect, diagnostics=bundle))
+
+    def _start_health_sampler(self) -> Optional[HealthSampler]:
+        """Start periodic health sampling when an interval is configured."""
+        interval = self.observe.health_interval_us
+        if interval is None:
+            return None
+        sampler = HealthSampler(self.sim, self.health, interval)
+        sampler.start()
+        self.health_samples = sampler.samples
+        return sampler
+
+    def _check_live_progress(self, target_requests: int) -> None:
+        """Turn a capped-but-short live run into a typed, diagnosed failure."""
+        if not self.backend.realtime:
+            return
+        completed = self.metrics.completed_count
+        if completed >= target_requests:
+            return
+        bundle = snapshot_diagnostics(
+            self, reason=f"wall-clock cap hit at {completed}/{target_requests} "
+            "completed logical requests")
+        raise StallError(
+            f"live sharded run hit its wall-clock cap at {completed}/"
+            f"{target_requests} completed requests; suspect {bundle['suspect']} "
+            f"({bundle['suspect_reason']})",
+            suspect=bundle["suspect"], diagnostics=bundle)
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
@@ -213,10 +295,13 @@ class ShardedDeployment:
             replica.trusted.stats.total
             for group in self.groups for replica in group.replicas
             if replica.trusted is not None)
+        metrics = self.metrics.summarise(
+            warmup_fraction, shard_verify_cache=self.shard_verify_cache())
+        if self.observe.collect_health:
+            metrics = dataclasses.replace(
+                metrics, health=self.health().aggregate())
         return ShardedRunResult(
-            metrics=self.metrics.summarise(
-                warmup_fraction,
-                shard_verify_cache=self.shard_verify_cache()),
+            metrics=metrics,
             sim_time_s=self.sim.now / 1_000_000.0,
             events=self.sim.events_processed,
             messages_sent=sum(g.network.stats.messages_sent for g in self.groups),

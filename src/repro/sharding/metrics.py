@@ -30,6 +30,10 @@ class ShardedRunMetrics:
     #: harness's determinism digests) stays unchanged; this field exists to
     #: measure shared-cache contention at high shard counts.
     shard_verify_cache: tuple[KeyStoreStats, ...] = ()
+    #: end-of-run aggregated health across every group's replicas; populated
+    #: only when the deployment collects health (same schema-stability rule
+    #: as :attr:`~repro.runtime.metrics.RunMetrics.health`).
+    health: dict | None = None
 
     @property
     def num_shards(self) -> int:
@@ -64,6 +68,9 @@ class ShardedRunMetrics:
         row.update(self.global_metrics.as_row())
         for shard, metrics in enumerate(self.shard_metrics):
             row[f"shard{shard}_tx_s"] = round(metrics.throughput_tx_s, 1)
+        if self.health is not None:
+            for key, value in self.health.items():
+                row[f"health_{key}"] = value
         return row
 
 

@@ -66,7 +66,7 @@ class Simulator:
     """
 
     __slots__ = ("_queue", "_seq", "_now", "_events_processed", "_running",
-                 "_cancelled_pending")
+                 "_cancelled_pending", "_tracer")
 
     #: compaction triggers once at least this many cancelled entries make up
     #: the majority of the queue (the floor keeps tiny queues compaction-free).
@@ -79,6 +79,16 @@ class Simulator:
         self._events_processed = 0
         self._running = False
         self._cancelled_pending = 0
+        self._tracer = None
+
+    def set_tracer(self, tracer) -> None:
+        """Attach (or detach, with None) a structured-event tracer."""
+        self._tracer = tracer
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included (diagnostics only)."""
+        return len(self._queue)
 
     @property
     def now(self) -> Micros:
@@ -137,6 +147,9 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("kernel.run", node="sim")
         budget = max_events if max_events is not None else float("inf")
         try:
             while self._queue and budget > 0:
@@ -163,6 +176,9 @@ class Simulator:
                     self._now = max(self._now, until)
         finally:
             self._running = False
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.record("kernel.stop", node="sim")
         return self._now
 
     def run_until_idle(self, max_events: Optional[int] = None) -> Micros:

@@ -1,0 +1,106 @@
+"""Warmup-trimming edge cases for MetricsCollector / RunMetrics.
+
+``summarise(warmup_fraction)`` drops the earliest completions as warmup —
+but only while at least one completion survives: trimming *everything*
+would summarise a successful run as empty, so a fraction of 1.0 (or a
+single-completion run at any fraction) deliberately keeps the full window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import RequestId
+from repro.runtime.metrics import MetricsCollector, RunMetrics
+
+
+def record(collector, count, gap_us=1_000.0, latency_us=500.0, operations=1):
+    for i in range(count):
+        submitted = i * gap_us
+        collector.record_completion("client-0", RequestId("client-0", i),
+                                    submitted, submitted + latency_us,
+                                    operations)
+
+
+class TestZeroCompletions:
+    def test_summary_is_the_zero_metrics_object(self):
+        metrics = MetricsCollector().summarise(warmup_fraction=0.5)
+        assert metrics == RunMetrics()
+        assert metrics.completed_requests == 0
+        assert metrics.throughput_tx_s == 0.0
+        assert metrics.mean_latency_ms == 0.0
+
+    def test_zero_row_schema_matches_populated_rows(self):
+        empty = MetricsCollector().summarise()
+        populated = MetricsCollector()
+        record(populated, 10)
+        assert set(empty.as_row()) == set(populated.summarise().as_row())
+
+
+class TestWarmupFractionBounds:
+    def test_fraction_zero_keeps_every_completion(self):
+        collector = MetricsCollector()
+        record(collector, 25)
+        assert collector.summarise(warmup_fraction=0.0).completed_requests == 25
+
+    def test_fraction_one_keeps_the_full_window_not_nothing(self):
+        collector = MetricsCollector()
+        record(collector, 25)
+        metrics = collector.summarise(warmup_fraction=1.0)
+        assert metrics.completed_requests == 25
+        assert metrics.throughput_tx_s > 0.0
+
+    def test_fraction_just_below_one_keeps_the_tail(self):
+        collector = MetricsCollector()
+        record(collector, 10)
+        metrics = collector.summarise(warmup_fraction=0.95)
+        assert metrics.completed_requests == 1
+
+    def test_intermediate_fraction_rounds_down(self):
+        collector = MetricsCollector()
+        record(collector, 7)
+        # skip = int(7 * 0.25) = 1 -> 6 kept.
+        assert collector.summarise(warmup_fraction=0.25).completed_requests == 6
+
+
+class TestSingleCompletion:
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.99, 1.0])
+    def test_single_completion_survives_any_fraction(self, fraction):
+        collector = MetricsCollector()
+        record(collector, 1, latency_us=2_000.0)
+        metrics = collector.summarise(warmup_fraction=fraction)
+        assert metrics.completed_requests == 1
+        assert metrics.mean_latency_ms == pytest.approx(2.0)
+        assert metrics.p50_latency_ms == metrics.p99_latency_ms
+
+    def test_single_completion_duration_is_clamped_positive(self):
+        collector = MetricsCollector()
+        # Zero-latency completion: window start == window end; the divisor
+        # is clamped so throughput stays finite.
+        collector.record_completion("c", RequestId("c", 0), 100.0, 100.0, 1)
+        metrics = collector.summarise(warmup_fraction=0.0)
+        assert metrics.throughput_tx_s > 0.0
+        assert metrics.duration_s >= 0.0
+
+
+class TestWindowSemantics:
+    def test_trim_shifts_the_measurement_window(self):
+        collector = MetricsCollector()
+        record(collector, 100, gap_us=1_000.0)
+        full = collector.summarise(warmup_fraction=0.0)
+        trimmed = collector.summarise(warmup_fraction=0.2)
+        assert trimmed.completed_requests == 80
+        # Both windows have ~1ms spacing, so throughput is stable even
+        # though the trimmed window is shorter.
+        assert trimmed.throughput_tx_s == pytest.approx(full.throughput_tx_s,
+                                                        rel=0.05)
+
+    def test_completions_sorted_by_completion_time_before_trim(self):
+        collector = MetricsCollector()
+        # Recorded out of order: the trim must drop the *earliest finisher*,
+        # not the first recorded.
+        collector.record_completion("c", RequestId("c", 1), 5_000.0, 9_000.0, 1)
+        collector.record_completion("c", RequestId("c", 0), 0.0, 1_000.0, 1)
+        metrics = collector.summarise(warmup_fraction=0.5)
+        assert metrics.completed_requests == 1
+        assert metrics.mean_latency_ms == pytest.approx(4.0)

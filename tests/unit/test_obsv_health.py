@@ -1,0 +1,149 @@
+"""Unit tests for replica/deployment health snapshots and the sampler."""
+
+from __future__ import annotations
+
+from repro.obsv import (
+    DeploymentHealth,
+    HealthSampler,
+    ObservabilityConfig,
+    ReplicaHealth,
+)
+from repro.runtime.deployment import Deployment
+from repro.runtime.experiments import ExperimentScale, build_config
+from repro.sim.kernel import Simulator
+
+_SCALE = ExperimentScale(
+    name="health-test", f=1, num_clients=4, batch_size=2,
+    warmup_batches=1, measured_batches=3, worker_threads=2,
+    max_sim_seconds=30.0)
+
+
+def run_deployment(protocol="pbft", observe=None):
+    deployment = Deployment(build_config(protocol, _SCALE), observe=observe)
+    try:
+        result = deployment.run_until_target()
+        return deployment, result
+    finally:
+        deployment.close()
+
+
+class TestReplicaHealth:
+    def test_health_snapshots_executed_state(self):
+        deployment, _ = run_deployment()
+        healths = [replica.health() for replica in deployment.replicas]
+        assert len(healths) == 4
+        for health in healths:
+            assert isinstance(health, ReplicaHealth)
+            assert health.active and not health.recovering
+            assert health.protocol == "pbft"
+            assert health.last_executed > 0
+            assert health.checkpoint_lag == (health.last_executed
+                                             - health.stable_checkpoint)
+            assert 0.0 <= health.verify_hit_rate <= 1.0
+        assert sum(1 for h in healths if h.is_primary) == 1
+
+    def test_trusted_counter_reflects_protocol_family(self):
+        untrusted, _ = run_deployment("pbft")
+        assert all(r.health().trusted_counter == -1
+                   for r in untrusted.replicas)
+        trusted, _ = run_deployment("minbft")
+        counters = [r.health().trusted_counter for r in trusted.replicas]
+        # Every replica *has* a counter (>= 0); the primary's has advanced.
+        assert all(counter >= 0 for counter in counters)
+        assert max(counters) > 0
+
+    def test_crashed_replica_reports_inactive(self):
+        deployment = Deployment(build_config("pbft", _SCALE))
+        try:
+            deployment.crash_replica(3)
+            health = deployment.replicas[3].health()
+            assert not health.active
+        finally:
+            deployment.close()
+
+    def test_as_dict_is_json_shaped(self):
+        deployment, _ = run_deployment()
+        snapshot = deployment.replicas[0].health().as_dict()
+        assert snapshot["name"] == "replica-0"
+        assert set(snapshot) >= {"view", "last_executed", "worker_queue",
+                                 "trusted_counter", "verify_hit_rate"}
+
+
+class TestDeploymentHealth:
+    def test_deployment_health_aggregates_replicas(self):
+        deployment, _ = run_deployment()
+        health = deployment.health()
+        assert isinstance(health, DeploymentHealth)
+        aggregate = health.aggregate()
+        assert aggregate["replicas"] == 4
+        assert aggregate["active"] == 4
+        assert aggregate["recovering"] == 0
+        assert aggregate["min_last_executed"] > 0
+
+    def test_empty_health_aggregates_to_zero_replicas(self):
+        health = DeploymentHealth(kernel_now_us=0.0, events_processed=0,
+                                  pending_events=0, completed_requests=0,
+                                  replicas=())
+        assert health.aggregate() == {"replicas": 0}
+
+    def test_collect_health_folds_aggregate_into_row(self):
+        observe = ObservabilityConfig(collect_health=True)
+        _, result = run_deployment(observe=observe)
+        row = result.as_row()
+        assert row["health_replicas"] == 4
+        assert row["health_active"] == 4
+
+    def test_default_row_schema_has_no_health_columns(self):
+        _, result = run_deployment()
+        assert not any(key.startswith("health_")
+                       for key in result.as_row())
+
+
+class TestHealthSampler:
+    def make_health(self, kernel):
+        return DeploymentHealth(kernel_now_us=kernel.now, events_processed=0,
+                                pending_events=0, completed_requests=0,
+                                replicas=())
+
+    def test_sampler_takes_periodic_snapshots(self):
+        kernel = Simulator()
+        sampler = HealthSampler(kernel, lambda: self.make_health(kernel),
+                                interval_us=1_000.0)
+        sampler.start()
+        kernel.run(until=5_500.0)
+        sampler.stop()
+        assert len(sampler.samples) == 5
+        assert [s["time_us"] for s in sampler.samples] == [
+            1000.0, 2000.0, 3000.0, 4000.0, 5000.0]
+        assert all(s["replicas"] == 0 for s in sampler.samples)
+
+    def test_stop_halts_sampling_but_keeps_samples(self):
+        kernel = Simulator()
+        sampler = HealthSampler(kernel, lambda: self.make_health(kernel),
+                                interval_us=1_000.0)
+        sampler.start()
+        kernel.run(until=2_500.0)
+        sampler.stop()
+        kernel.run(until=9_000.0)
+        assert len(sampler.samples) == 2
+
+    def test_capacity_bounds_sample_history(self):
+        kernel = Simulator()
+        sampler = HealthSampler(kernel, lambda: self.make_health(kernel),
+                                interval_us=100.0, capacity=3)
+        sampler.start()
+        kernel.run(until=1_050.0)
+        sampler.stop()
+        assert len(sampler.samples) == 3
+        assert sampler.samples[-1]["time_us"] == 1000.0
+
+    def test_sampler_runs_during_deployment(self):
+        # The simulated run lasts a few simulated milliseconds, so a 500 us
+        # interval guarantees several in-flight samples.
+        observe = ObservabilityConfig(collect_health=True,
+                                      health_interval_us=500.0)
+        deployment, _ = run_deployment(observe=observe)
+        assert deployment.health_samples
+        sample = deployment.health_samples[0]
+        assert sample["replicas"] == 4
+        assert sample["time_us"] > 0

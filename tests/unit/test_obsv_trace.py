@@ -1,0 +1,91 @@
+"""Unit tests for the structured trace facility (ring buffer semantics)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obsv import TraceEvent, Tracer
+from repro.sim.kernel import Simulator
+
+
+def make_tracer(capacity=8):
+    kernel = Simulator()
+    return kernel, Tracer(kernel, capacity=capacity)
+
+
+class TestTracerRecording:
+    def test_record_stamps_kernel_time(self):
+        kernel, tracer = make_tracer()
+        kernel.schedule(1_500.0, lambda: tracer.record("msg.send", node="a"))
+        kernel.run_until_idle()
+        (event,) = list(tracer)
+        assert event.time_us == 1_500.0
+        assert event.kind == "msg.send"
+        assert event.node == "a"
+
+    def test_defaults_mark_missing_fields(self):
+        _, tracer = make_tracer()
+        tracer.record("kernel.run")
+        (event,) = list(tracer)
+        assert event.seq == -1 and event.view == -1
+        assert event.detail == "" and event.node == ""
+
+    def test_as_dict_round_trips_every_field(self):
+        event = TraceEvent(time_us=2.0, kind="view.change", node="replica-1",
+                           detail="x", seq=7, view=3)
+        assert event.as_dict() == {"time_us": 2.0, "kind": "view.change",
+                                   "node": "replica-1", "detail": "x",
+                                   "seq": 7, "view": 3}
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retained_events(self):
+        _, tracer = make_tracer(capacity=4)
+        for i in range(10):
+            tracer.record("msg.send", seq=i)
+        assert len(tracer) == 4
+        assert [e.seq for e in tracer] == [6, 7, 8, 9]
+
+    def test_counts_survive_eviction(self):
+        _, tracer = make_tracer(capacity=2)
+        for _ in range(5):
+            tracer.record("msg.send")
+        tracer.record("msg.drop")
+        assert tracer.total == 6
+        assert tracer.counts == {"msg.send": 5, "msg.drop": 1}
+
+    def test_dropped_counts_evicted_events(self):
+        _, tracer = make_tracer(capacity=3)
+        for _ in range(10):
+            tracer.record("msg.recv")
+        assert tracer.dropped == 7
+        _, fresh = make_tracer(capacity=3)
+        fresh.record("msg.recv")
+        assert fresh.dropped == 0
+
+
+class TestFiltering:
+    def test_events_filters_by_kind_and_node(self):
+        _, tracer = make_tracer(capacity=16)
+        tracer.record("msg.send", node="a")
+        tracer.record("msg.send", node="b")
+        tracer.record("msg.recv", node="a")
+        assert len(tracer.events(kind="msg.send")) == 2
+        assert len(tracer.events(node="a")) == 2
+        assert len(tracer.events(kind="msg.recv", node="a")) == 1
+        assert tracer.events(kind="view.change") == []
+
+
+class TestJsonl:
+    def test_write_jsonl_emits_one_object_per_event(self, tmp_path):
+        _, tracer = make_tracer(capacity=16)
+        tracer.record("tcp.connect", node="replica-0", detail="127.0.0.1:9")
+        tracer.record("checkpoint.stable", node="replica-1", seq=20)
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["kind"] == "tcp.connect"
+        assert first["detail"] == "127.0.0.1:9"
+        assert second["seq"] == 20

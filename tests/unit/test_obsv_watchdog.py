@@ -1,0 +1,189 @@
+"""Unit tests for the stall watchdog and the stall diagnosis helpers.
+
+The watchdog runs on either kernel (it only uses ``schedule``/``now``), so
+the firing tests follow the backend-conformance pattern and run against both
+the Simulator and the AsyncioKernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import LivenessViolation, StallError
+from repro.obsv import ReplicaHealth, StallWatchdog, diagnose_suspect
+from repro.realtime.kernel import AsyncioKernel
+from repro.sim.kernel import Simulator
+
+
+class SimBackend:
+    name = "simulator"
+
+    def __init__(self):
+        self.kernel = Simulator()
+
+    def run_for(self, duration_us):
+        self.kernel.run(until=duration_us)
+
+    def close(self):
+        pass
+
+
+class LiveBackend:
+    name = "asyncio"
+
+    def __init__(self):
+        self.kernel = AsyncioKernel()
+
+    def run_for(self, duration_us):
+        self.kernel.run_for(duration_us)
+
+    def close(self):
+        self.kernel.close()
+
+
+@pytest.fixture(params=[SimBackend, LiveBackend], ids=["simulator", "asyncio"])
+def backend(request):
+    instance = request.param()
+    yield instance
+    instance.close()
+
+
+#: short on the live kernel (real milliseconds) yet long enough that poll
+#: jitter cannot miss the deadline.
+STALL_US = 20_000.0
+
+
+class TestStallWatchdog:
+    def test_fires_when_progress_stops(self, backend):
+        fired = []
+        watchdog = StallWatchdog(backend.kernel, progress=lambda: 0,
+                                 stall_after_us=STALL_US,
+                                 on_stall=fired.append)
+        watchdog.arm()
+        backend.run_for(STALL_US * 4)
+        assert watchdog.fired
+        assert fired == [watchdog]
+        assert watchdog.stalled_for_us >= STALL_US
+
+    def test_progress_resets_the_deadline(self, backend):
+        kernel = backend.kernel
+        completed = [0]
+        # Progress keeps arriving for 3 stall-spans, then stops.
+        for i in range(1, 13):
+            kernel.schedule(i * STALL_US / 4.0,
+                            lambda: completed.__setitem__(0, completed[0] + 1))
+        fired = []
+        watchdog = StallWatchdog(kernel, progress=lambda: completed[0],
+                                 stall_after_us=STALL_US,
+                                 on_stall=fired.append)
+        watchdog.arm()
+        backend.run_for(STALL_US * 2.5)
+        assert not watchdog.fired, "watchdog fired while progress was flowing"
+        backend.run_for(STALL_US * 6)
+        assert watchdog.fired
+
+    def test_fires_at_most_once(self, backend):
+        fired = []
+        watchdog = StallWatchdog(backend.kernel, progress=lambda: 0,
+                                 stall_after_us=STALL_US,
+                                 on_stall=fired.append)
+        watchdog.arm()
+        backend.run_for(STALL_US * 8)
+        assert len(fired) == 1
+        # Re-arming a fired watchdog stays inert.
+        watchdog.arm()
+        backend.run_for(STALL_US * 4)
+        assert len(fired) == 1
+
+    def test_cancel_prevents_firing(self, backend):
+        fired = []
+        watchdog = StallWatchdog(backend.kernel, progress=lambda: 0,
+                                 stall_after_us=STALL_US,
+                                 on_stall=fired.append)
+        watchdog.arm()
+        watchdog.cancel()
+        backend.run_for(STALL_US * 4)
+        assert not watchdog.fired
+        assert fired == []
+
+    def test_on_stall_can_fail_the_live_kernel(self):
+        kernel = AsyncioKernel()
+        try:
+            watchdog = StallWatchdog(
+                kernel, progress=lambda: 0, stall_after_us=STALL_US,
+                on_stall=lambda w: kernel.fail(
+                    StallError("stalled", suspect="replica-2")))
+            watchdog.arm()
+            with pytest.raises(StallError) as excinfo:
+                kernel.run_until(lambda: False, max_wall_seconds=5.0)
+            assert excinfo.value.suspect == "replica-2"
+        finally:
+            kernel.close()
+
+
+def make_health(name, active=True, recovering=False, is_primary=False,
+                last_executed=10, view=0):
+    return ReplicaHealth(
+        name=name, replica_id=0, protocol="pbft", active=active,
+        recovering=recovering, is_primary=is_primary, in_view_change=False,
+        view=view, last_executed=last_executed, stable_checkpoint=0,
+        checkpoint_lag=last_executed, next_seq=last_executed + 1,
+        pending_requests=0, executable=0, instances=0, in_flight=0,
+        worker_queue=0, busy_workers=0, messages_processed=0,
+        batches_executed=0, view_changes_started=0, checkpoints_taken=0,
+        trusted_counter=-1, trusted_accesses=0, verify_hit_rate=0.0)
+
+
+class TestDiagnoseSuspect:
+    def test_no_replicas(self):
+        suspect, reason = diagnose_suspect([])
+        assert suspect is None
+        assert "no replicas" in reason
+
+    def test_crashed_replica_outranks_everything(self):
+        healths = [make_health("replica-0", is_primary=True, last_executed=5),
+                   make_health("replica-1", active=False),
+                   make_health("replica-2", recovering=True)]
+        suspect, reason = diagnose_suspect(healths)
+        assert suspect == "replica-1"
+        assert "crashed" in reason
+
+    def test_recovering_outranks_laggard(self):
+        healths = [make_health("replica-0", last_executed=50),
+                   make_health("replica-1", recovering=True),
+                   make_health("replica-2", last_executed=10)]
+        suspect, reason = diagnose_suspect(healths)
+        assert suspect == "replica-1"
+        assert "recovering" in reason
+
+    def test_execution_laggard_is_named_with_sequence_gap(self):
+        healths = [make_health("replica-0", last_executed=40),
+                   make_health("replica-1", last_executed=12),
+                   make_health("replica-2", last_executed=40)]
+        suspect, reason = diagnose_suspect(healths)
+        assert suspect == "replica-1"
+        assert "12" in reason and "40" in reason
+
+    def test_level_group_blames_the_primary(self):
+        healths = [make_health("replica-0"),
+                   make_health("replica-1", is_primary=True),
+                   make_health("replica-2")]
+        suspect, reason = diagnose_suspect(healths)
+        assert suspect == "replica-1"
+        assert "primary" in reason
+
+
+class TestStallError:
+    def test_is_a_liveness_violation(self):
+        assert issubclass(StallError, LivenessViolation)
+
+    def test_carries_suspect_and_diagnostics(self):
+        bundle = {"reason": "test", "kernel": {"heap_size": 3}}
+        error = StallError("stalled", suspect="replica-1", diagnostics=bundle)
+        assert error.suspect == "replica-1"
+        assert error.diagnostics["kernel"]["heap_size"] == 3
+
+    def test_defaults_to_empty_diagnostics(self):
+        error = StallError("stalled")
+        assert error.suspect is None
+        assert error.diagnostics == {}

@@ -1,0 +1,157 @@
+"""AST lint: trace hooks must not allocate when tracing is disabled.
+
+Every hook site follows one idiom::
+
+    tracer = self._tracer
+    if tracer is not None:
+        tracer.record("kind", node=..., detail=...)
+
+The disabled path then executes one attribute load and one ``is not None``
+test — no dict, no f-string, no call.  This lint parses the source tree
+(no ``repro`` import, so CI's lint job can run it without the package on
+``sys.path``) and asserts:
+
+* every ``*.record(...)``-style call on a name containing ``tracer`` sits
+  inside an ``if <that name> is not None:`` guard;
+* the guard's test allocates nothing (no Call / Dict / JoinedStr / comprehension);
+* no hook calls through the attribute directly (``self._tracer.record(...)``
+  would evaluate its arguments' allocations before the None check in a
+  short-circuiting rewrite, and costs an extra attribute load per message).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+#: repository source tree, located relative to this file so the lint runs
+#: with or without the package importable.
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: the Tracer implementation itself legitimately calls its own methods.
+EXCLUDED = {SRC_ROOT / "obsv" / "trace.py"}
+
+ALLOCATING_NODES = (ast.Call, ast.Dict, ast.JoinedStr, ast.ListComp,
+                    ast.SetComp, ast.DictComp, ast.GeneratorExp, ast.List,
+                    ast.Set)
+
+
+def hooked_sources() -> list[Path]:
+    paths = [path for path in sorted(SRC_ROOT.rglob("*.py"))
+             if path not in EXCLUDED]
+    assert paths, f"no sources found under {SRC_ROOT}"
+    return paths
+
+
+def parse_with_parents(path: Path) -> ast.AST:
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+    return tree
+
+
+def is_none_guard(test: ast.expr, name: str) -> bool:
+    """``<name> is not None`` and nothing else."""
+    return (isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name) and test.left.id == name
+            and len(test.ops) == 1 and isinstance(test.ops[0], ast.IsNot)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None)
+
+
+def guarding_if(node: ast.AST, name: str) -> ast.If | None:
+    """Nearest enclosing ``if <name> is not None:`` of ``node``."""
+    current = getattr(node, "parent", None)
+    while current is not None:
+        if isinstance(current, ast.If) and is_none_guard(current.test, name):
+            return current
+        current = getattr(current, "parent", None)
+    return None
+
+
+def tracer_method_calls(tree: ast.AST):
+    """(call, base) pairs for ``<base>.method(...)`` where base names a tracer."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            yield node, node.func.value
+
+
+def lint_file(path: Path) -> list[str]:
+    problems = []
+    tree = parse_with_parents(path)
+    for call, base in tracer_method_calls(tree):
+        try:
+            shown = path.relative_to(SRC_ROOT.parent)
+        except ValueError:
+            shown = path.name
+        where = f"{shown}:{call.lineno}"
+        # Hot-path hooks hold the tracer in a private attribute; calling
+        # through it skips the local bind.  Public ``deployment.tracer``
+        # accessors (cold paths like writing the JSONL at exit) are fine.
+        if isinstance(base, ast.Attribute) and "_tracer" in base.attr:
+            problems.append(
+                f"{where}: calls through the attribute "
+                f"({ast.unparse(call.func)}); bind it to a local first "
+                f"(tracer = self.{base.attr}) so the disabled path is one "
+                f"load plus one None test")
+            continue
+        if not (isinstance(base, ast.Name) and "tracer" in base.id):
+            continue
+        guard = guarding_if(call, base.id)
+        if guard is None:
+            problems.append(
+                f"{where}: {ast.unparse(call.func)}(...) is not inside an "
+                f"'if {base.id} is not None:' guard")
+            continue
+        allocating = [type(sub).__name__ for sub in ast.walk(guard.test)
+                      if isinstance(sub, ALLOCATING_NODES)]
+        if allocating:
+            problems.append(
+                f"{where}: the guard test allocates ({', '.join(allocating)}); "
+                f"the disabled path must stay allocation-free")
+    return problems
+
+
+def test_trace_hooks_do_not_allocate_when_disabled():
+    problems = [problem for path in hooked_sources()
+                for problem in lint_file(path)]
+    assert not problems, "\n".join(problems)
+
+
+def test_lint_actually_detects_violations(tmp_path):
+    """The lint is live: each forbidden shape trips it."""
+    unguarded = tmp_path / "unguarded.py"
+    unguarded.write_text("def f(tracer):\n    tracer.record('x')\n")
+    assert any("is not inside" in p for p in lint_file(unguarded))
+
+    through_attr = tmp_path / "attr.py"
+    through_attr.write_text(
+        "def f(self):\n"
+        "    if self._tracer is not None:\n"
+        "        self._tracer.record('x')\n")
+    assert any("calls through the attribute" in p
+               for p in lint_file(through_attr))
+
+    allocating_guard = tmp_path / "alloc.py"
+    allocating_guard.write_text(
+        "def f(tracer):\n"
+        "    if tracer is not None and bool(dict()):\n"
+        "        tracer.record('x')\n")
+    problems = lint_file(allocating_guard)
+    assert problems, "allocating guard escaped the lint"
+
+
+def test_hook_sites_exist():
+    """The lint has teeth only if the hooks it guards actually exist."""
+    hooked = [path for path in hooked_sources() if lint_has_hooks(path)]
+    names = {path.name for path in hooked}
+    assert {"base.py", "network.py", "kernel.py"} <= names, (
+        f"expected trace hooks in protocols/net/kernels, found {sorted(names)}")
+
+
+def lint_has_hooks(path: Path) -> bool:
+    tree = parse_with_parents(path)
+    return any(isinstance(base, ast.Name) and "tracer" in base.id
+               for _, base in tracer_method_calls(tree))

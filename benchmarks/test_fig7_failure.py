@@ -6,7 +6,7 @@ from repro.common.types import seconds
 from repro.protocols.registry import get_protocol
 from repro.recovery import FaultSchedule, crash_at, recovery_summary, restart_at
 from repro.runtime import (
-    Deployment,
+    DeploymentSpec,
     ExperimentScale,
     build_config,
     figure7_failure,
@@ -65,7 +65,7 @@ def test_fig7_crash_restart_recovers_within_10pct(benchmark):
         n = get_protocol("minzz").replicas(scale.f)
         schedule = FaultSchedule((crash_at(n - 1, crash_us),
                                   restart_at(n - 1, restart_us)))
-        deployment = Deployment(config, fault_schedule=schedule)
+        deployment = DeploymentSpec(config, fault_schedule=schedule).build()
         deployment.start_clients()
         deployment.sim.run(until=end_us)
         return deployment

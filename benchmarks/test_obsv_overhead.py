@@ -24,7 +24,7 @@ import time
 from repro.obsv import ObservabilityConfig
 from repro.perf import run_scenario
 from repro.perf.scenarios import _OBSV_EXPERIMENT
-from repro.runtime.deployment import Deployment
+from repro.runtime import DeploymentSpec
 from repro.runtime.experiments import build_config
 
 #: alternating A/B pairs; the per-mode minimum is compared, so one noisy
@@ -38,7 +38,7 @@ _MAX_OVERHEAD_RATIO = 1.25
 
 def _timed_run(observe):
     config = build_config("flexi-bft", _OBSV_EXPERIMENT)
-    deployment = Deployment(config, observe=observe)
+    deployment = DeploymentSpec(config, observe=observe).build()
     try:
         started = time.perf_counter()
         result = deployment.run_until_target()

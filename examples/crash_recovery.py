@@ -25,7 +25,7 @@ from repro.common.config import (
 from repro.common.types import ms, seconds
 from repro.core.attacks import compare_restart_rollback_hardware
 from repro.recovery import FaultSchedule, heal_at, partition_at
-from repro.runtime import Deployment, SMALL_SCALE, figure_recovery, print_rows
+from repro.runtime import DeploymentSpec, SMALL_SCALE, figure_recovery, print_rows
 
 
 def recovery_figure() -> None:
@@ -45,7 +45,7 @@ def partition_lag_demo() -> None:
         partition_at((3,), ms(200), name="isolate-3"),
         heal_at(ms(600), name="isolate-3"),
     ))
-    deployment = Deployment(config, fault_schedule=schedule)
+    deployment = DeploymentSpec(config, fault_schedule=schedule).build()
     deployment.start_clients()
     deployment.sim.run(until=seconds(1.5))
     lagged = deployment.replica(3)

@@ -16,8 +16,8 @@ or, equivalently, straight from the CLI::
     python -m repro live --protocol flexibft
 """
 
-from repro.realtime import LiveDeployment, run_live_point
-from repro.runtime.deployment import Deployment
+from repro.realtime import run_live_point
+from repro.runtime import DeploymentSpec
 from repro.runtime.experiments import ExperimentScale, build_config, print_rows
 
 # Small sizing: live runs pay real network latency and real crypto, so a few
@@ -41,20 +41,25 @@ def main() -> None:
     # schema, so the two backends feed the same analysis paths.
     sim_rows = []
     for protocol in ("minbft", "flexi-bft"):
-        result = Deployment(build_config(protocol, SCALE)).run_until_target()
+        spec = DeploymentSpec(build_config(protocol, SCALE))
+        result = spec.build().run_until_target()
         row = {"protocol": protocol, "backend": "sim"}
         row.update(result.as_row())
         sim_rows.append(row)
     print_rows("discrete-event simulator (simulated results)", sim_rows)
 
-    # Advanced use: LiveDeployment is a context manager exposing the same
-    # build/run/collect surface as the simulated Deployment.
-    with LiveDeployment(build_config("pbft", SCALE)) as deployment:
+    # The same spec shape selects the live backend by name — only the
+    # ``backend`` field changes between a simulated and a wall-clock build.
+    deployment = DeploymentSpec(build_config("pbft", SCALE),
+                                backend="live").build()
+    try:
         result = deployment.run_until_target(target_requests=40)
         print(f"\npbft live: {result.metrics.completed_requests} requests, "
               f"{result.metrics.throughput_tx_s:.0f} tx/s, "
               f"p50 {result.metrics.p50_latency_ms:.2f} ms, "
               f"consensus_safe={result.consensus_safe}")
+    finally:
+        deployment.close()
 
 
 if __name__ == "__main__":

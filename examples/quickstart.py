@@ -8,7 +8,7 @@ touched — the quantity the FlexiTrust design minimises.
 Run with:  python examples/quickstart.py
 """
 
-from repro import Deployment, DeploymentConfig
+from repro import DeploymentConfig, DeploymentSpec
 from repro.common.config import ExperimentConfig, ProtocolConfig, WorkloadConfig
 
 
@@ -20,7 +20,7 @@ def run(protocol: str) -> None:
         protocol_config=ProtocolConfig(batch_size=20, worker_threads=8),
         experiment=ExperimentConfig(warmup_batches=3, measured_batches=15, seed=1),
     )
-    deployment = Deployment(config)
+    deployment = DeploymentSpec(config).build()
     result = deployment.run_until_target()
     metrics = result.metrics
     print(f"{protocol:>10s} | n={deployment.n}  "

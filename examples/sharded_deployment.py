@@ -17,7 +17,7 @@ Run with:  python examples/sharded_deployment.py
 
 from dataclasses import replace
 
-from repro import DeploymentConfig, ShardedConfig, ShardedDeployment
+from repro import DeploymentConfig, DeploymentSpec
 from repro.common.config import ExperimentConfig, ProtocolConfig, WorkloadConfig
 
 
@@ -36,10 +36,10 @@ def scaleout() -> None:
     print("-" * 74)
     clients_per_shard = 60
     for shards in (1, 2, 4):
-        config = ShardedConfig(
-            base=base_config(clients_per_shard * shards),
+        spec = DeploymentSpec(
+            base_config(clients_per_shard * shards),
             num_shards=shards, num_clients=clients_per_shard * shards)
-        deployment = ShardedDeployment(config)
+        deployment = spec.build()
         result = deployment.run_until_target()
         metrics = result.metrics
         per_shard = "  ".join(f"{m.throughput_tx_s:8.0f}"
@@ -50,13 +50,12 @@ def scaleout() -> None:
 
 
 def cross_shard_requests() -> None:
-    config = ShardedConfig(base=base_config(30), num_shards=4, num_clients=30)
+    base = base_config(30)
     # Four operations per signed client message: most logical requests now
     # touch several shards and must be merged from per-shard sub-responses.
-    config = replace(config, base=replace(
-        config.base,
-        workload=replace(config.base.workload, requests_per_client_message=4)))
-    deployment = ShardedDeployment(config)
+    base = replace(base, workload=replace(base.workload,
+                                          requests_per_client_message=4))
+    deployment = DeploymentSpec(base, num_shards=4, num_clients=30).build()
     deployment.run_until_target(target_requests=300)
     submitted = sum(c.stats.submitted for c in deployment.clients)
     multi = sum(c.stats.multi_shard_requests for c in deployment.clients)

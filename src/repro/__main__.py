@@ -11,6 +11,11 @@ prints its row table, or drives the performance harness::
     python -m repro live --protocol pbft --clients 16 --requests 200
     python -m repro live --backend tcp --sharded
     python -m repro live --backend tcp --sharded --shards 4 --protocol minbft
+    python -m repro matrix list
+    python -m repro matrix run smoke --results matrix-results
+    python -m repro matrix run curves --results matrix-results --csv curves.csv
+    python -m repro matrix run --protocols minbft flexi-bft --clients 20 60 120
+    python -m repro matrix collate --results matrix-results --csv curves.csv
     python -m repro perf --scenarios smoke
     python -m repro perf --scenarios fig1 crypto --scale medium
     python -m repro perf --scenarios smoke --check-baseline benchmarks/baselines
@@ -30,6 +35,47 @@ from .runtime import ALL_EXPERIMENTS, PAPER_SCALE, SMALL_SCALE, print_rows
 SCALES = {"small": SMALL_SCALE, "paper": PAPER_SCALE}
 
 
+def _protocol_arg(name: str) -> str:
+    """argparse type: canonical protocol name, rejected at parse time."""
+    try:
+        return _resolve_protocol(name)
+    except SystemExit as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _backend_arg(name: str) -> str:
+    """argparse type: backend name validated against the registry."""
+    from .backends import resolve_backend
+    from .common.errors import ConfigurationError
+
+    try:
+        return resolve_backend(name).name
+    except ConfigurationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _deployment_parent() -> argparse.ArgumentParser:
+    """Shared deployment-shape flags of ``live``, ``diag`` and ``matrix``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--protocol", default="flexi-bft", type=_protocol_arg,
+                        help="protocol to deploy (default: flexi-bft; dashes "
+                             "optional, 'flexibft' works)")
+    parent.add_argument("--backend", default="live", type=_backend_arg,
+                        help="execution backend: 'live'/'asyncio' (in-process "
+                             "queues, default) or 'live-tcp'/'tcp' (versioned "
+                             "binary frames over localhost sockets)")
+    parent.add_argument("--sharded", action="store_true",
+                        help="run a sharded deployment (multiple consensus "
+                             "groups driven by cross-shard clients)")
+    parent.add_argument("--shards", type=int, default=2,
+                        help="number of consensus groups with --sharded "
+                             "(default: 2)")
+    parent.add_argument("--scale", choices=sorted(SCALES), default="small",
+                        help="experiment scale for the deployment sizing "
+                             "(default: small)")
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -46,29 +92,16 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="experiment scale: laptop-sized 'small' (default) or "
                           "the paper-sized 'paper'")
     run.add_argument("--protocols", nargs="+", metavar="PROTOCOL",
+                     type=_protocol_arg,
                      help="restrict the experiment to these protocols "
                           "(experiments that fix their protocol ignore this)")
 
+    parent = _deployment_parent()
     live = subparsers.add_parser(
-        "live", help="run one protocol on a real-time backend (asyncio "
-                     "queues or localhost TCP, plain or sharded) and print "
-                     "the same result row as the simulated backend")
-    live.add_argument("--protocol", default="flexi-bft",
-                      help="protocol to deploy (default: flexi-bft; dashes "
-                           "optional, 'flexibft' works)")
-    live.add_argument("--backend", default="live",
-                      help="execution backend: 'live'/'asyncio' (in-process "
-                           "queues, default) or 'live-tcp'/'tcp' (versioned "
-                           "binary frames over localhost sockets)")
-    live.add_argument("--sharded", action="store_true",
-                      help="run a sharded deployment (multiple consensus "
-                           "groups driven by cross-shard clients)")
-    live.add_argument("--shards", type=int, default=2,
-                      help="number of consensus groups with --sharded "
-                           "(default: 2)")
-    live.add_argument("--scale", choices=sorted(SCALES), default="small",
-                      help="experiment scale for the deployment sizing "
-                           "(default: small)")
+        "live", parents=[parent],
+        help="run one protocol on a real-time backend (asyncio "
+             "queues or localhost TCP, plain or sharded) and print "
+             "the same result row as the simulated backend")
     live.add_argument("--clients", type=int, default=None,
                       help="override the number of closed-loop clients")
     live.add_argument("--batch-size", type=int, default=None,
@@ -136,22 +169,68 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="output format: human tables (default) or one "
                            "JSON document with every scenario payload")
 
+    matrix = subparsers.add_parser(
+        "matrix", help="expand, run, resume and collate experiment matrices "
+                       "(content-hashed cells, per-cell result files, "
+                       "figure-6-style curves)")
+    matrix_commands = matrix.add_subparsers(dest="matrix_command")
+    matrix_commands.add_parser(
+        "list", help="list the committed matrices and their cells")
+    matrix_run = matrix_commands.add_parser(
+        "run", help="run one or more matrices (or ad-hoc axis lists), "
+                    "resuming cells whose hashes already have results")
+    matrix_run.add_argument("names", nargs="*", metavar="MATRIX",
+                            help="committed matrix names (see 'repro matrix "
+                                 "list'); omit to build one from the axis "
+                                 "flags below")
+    matrix_run.add_argument("--protocols", nargs="+", metavar="PROTOCOL",
+                            type=_protocol_arg,
+                            help="ad-hoc matrix: protocol axis values")
+    matrix_run.add_argument("--backends", nargs="+", metavar="BACKEND",
+                            type=_backend_arg, default=None,
+                            help="ad-hoc matrix: backend axis values "
+                                 "(default: sim)")
+    matrix_run.add_argument("--clients", nargs="+", type=int, default=None,
+                            help="ad-hoc matrix: client-count axis values")
+    matrix_run.add_argument("--batch-sizes", nargs="+", type=int, default=None,
+                            help="ad-hoc matrix: batch-size axis values")
+    matrix_run.add_argument("--results", default="matrix-results",
+                            metavar="DIR",
+                            help="per-cell result directory "
+                                 "(default: matrix-results); cells whose "
+                                 "<hash>.json already exists are resumed")
+    matrix_run.add_argument("--axis", default="clients",
+                            help="row column the curves are plotted along "
+                                 "(default: clients)")
+    matrix_run.add_argument("--csv", default=None, metavar="FILE",
+                            help="also write the collated curves to FILE "
+                                 "as CSV")
+    matrix_run.add_argument("--assert-resumed", action="store_true",
+                            help="exit 1 if any cell actually executed "
+                                 "(CI resume-is-noop check)")
+    matrix_run.add_argument("--report", choices=("table", "json"),
+                            default="table",
+                            help="output format: curve tables (default) or "
+                                 "one JSON document")
+    matrix_collate = matrix_commands.add_parser(
+        "collate", help="collate an existing results directory into curves "
+                        "without running anything")
+    matrix_collate.add_argument("--results", default="matrix-results",
+                                metavar="DIR",
+                                help="per-cell result directory to collate")
+    matrix_collate.add_argument("--axis", default="clients",
+                                help="curve axis column (default: clients)")
+    matrix_collate.add_argument("--csv", default=None, metavar="FILE",
+                                help="write the curves to FILE as CSV")
+    matrix_collate.add_argument("--report", choices=("table", "json"),
+                                default="table",
+                                help="output format (default: table)")
+
     diag = subparsers.add_parser(
-        "diag", help="run a short live deployment with tracing and health "
-                     "sampling on, then write a diagnostics bundle "
-                     "(kernel/queue/connection/replica state) to a file")
-    diag.add_argument("--protocol", default="flexi-bft",
-                      help="protocol to deploy (default: flexi-bft)")
-    diag.add_argument("--backend", default="live",
-                      help="real-time backend to diagnose: 'live'/'asyncio' "
-                           "(default) or 'live-tcp'/'tcp'")
-    diag.add_argument("--sharded", action="store_true",
-                      help="diagnose a sharded deployment")
-    diag.add_argument("--shards", type=int, default=2,
-                      help="number of consensus groups with --sharded "
-                           "(default: 2)")
-    diag.add_argument("--scale", choices=sorted(SCALES), default="small",
-                      help="deployment sizing (default: small)")
+        "diag", parents=[parent],
+        help="run a short live deployment with tracing and health "
+             "sampling on, then write a diagnostics bundle "
+             "(kernel/queue/connection/replica state) to a file")
     diag.add_argument("--seconds", type=float, default=2.0,
                       help="wall-clock budget for the probe run (default: 2.0)")
     diag.add_argument("--out", default="diagnostics.json", metavar="FILE",
@@ -192,6 +271,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
     if args.command == "live":
         return run_live(args)
+    if args.command == "matrix":
+        return run_matrix(args, parser)
     if args.command == "perf":
         return run_perf(args)
     if args.command == "diag":
@@ -215,6 +296,25 @@ def _resolve_protocol(name: str) -> str:
             f"unknown protocol {name!r}; known protocols: "
             f"{', '.join(sorted(PROTOCOLS))}")
     return matches[0]
+
+
+def spec_from_args(args, *, wire_format: Optional[str] = None,
+                   observe=None) -> "object":
+    """One :class:`DeploymentSpec` from the shared deployment-shape flags.
+
+    The single builder behind ``live`` and ``diag`` (and the cell shape the
+    ad-hoc ``matrix`` axes expand into): protocol and backend arrive already
+    canonicalised by the argparse types, so this only assembles the spec.
+    """
+    from .runtime.experiments import build_config
+    from .runtime.spec import DeploymentSpec
+
+    config = build_config(args.protocol, SCALES[args.scale],
+                          num_clients=getattr(args, "clients", None),
+                          batch_size=getattr(args, "batch_size", None))
+    return DeploymentSpec(config, backend=args.backend,
+                          num_shards=args.shards if args.sharded else None,
+                          wire_format=wire_format, observe=observe)
 
 
 def _observe_from_args(args) -> "object | None":
@@ -270,18 +370,12 @@ def run_live(args) -> int:
     from .backends import resolve_backend
     from .common.errors import StallError
     from .realtime import ReplyVerifier
-    from .runtime.experiments import build_config
-    from .runtime.spec import DeploymentSpec
 
-    protocol = _resolve_protocol(args.protocol)
+    protocol = args.protocol
     backend = resolve_backend(args.backend)
     if not backend.realtime:
         raise SystemExit(f"'repro live' needs a real-time backend; "
                          f"{args.backend!r} is the simulator")
-    scale = SCALES[args.scale]
-    config = build_config(protocol, scale,
-                          num_clients=args.clients,
-                          batch_size=args.batch_size)
     wire_format = None
     if args.unsafe_pickle:
         if backend.name != "live-tcp":
@@ -291,9 +385,7 @@ def run_live(args) -> int:
               "executes arbitrary code on receipt. Trusted localhost only; "
               "this escape hatch is removed next release.")
         wire_format = "pickle"
-    spec = DeploymentSpec(config, backend=backend,
-                          num_shards=args.shards if args.sharded else None,
-                          wire_format=wire_format,
+    spec = spec_from_args(args, wire_format=wire_format,
                           observe=_observe_from_args(args))
     cap_us = (None if args.max_seconds is None
               else args.max_seconds * 1_000_000.0)
@@ -346,6 +438,113 @@ def run_live(args) -> int:
     return 0 if result.consensus_safe and result.rsm_safe else 1
 
 
+def _collate_and_report(payloads, axis: str, csv_path: Optional[str],
+                        as_json: bool) -> dict:
+    """Collate payloads into curves; print tables/JSON; return the report."""
+    import json
+
+    from .matrix import collate_payloads, write_curves_csv
+
+    series = collate_payloads(payloads, axis=axis)
+    report = {"axis": axis,
+              "series": [{"protocol": one.protocol, "backend": one.backend,
+                          "points": [point.as_row() for point in one.points]}
+                         for one in series]}
+    if as_json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        for one in series:
+            if one.points:
+                print_rows(f"curve: {one.protocol} on {one.backend} "
+                           f"(x = {axis})", one.as_rows())
+    if csv_path:
+        count = write_curves_csv(series, csv_path)
+        print(f"curves written: {csv_path} ({count} points)")
+    return report
+
+
+def run_matrix(args, parser) -> int:
+    """Expand, run/resume and collate experiment matrices."""
+    from .common.errors import ConfigurationError
+    from .matrix import (
+        MATRICES,
+        MatrixRunner,
+        MatrixSpec,
+        load_results,
+        matrix_cells,
+    )
+
+    if args.matrix_command == "list":
+        width = max(len(name) for name in MATRICES)
+        for name in sorted(MATRICES):
+            cells = matrix_cells(name)
+            backends = sorted({cell.backend for cell in cells})
+            print(f"{name.ljust(width)}  {len(cells):3d} cells  "
+                  f"[{', '.join(backends)}]")
+            for cell in cells:
+                print(f"  {cell.content_hash}  {cell.label}")
+        return 0
+    if args.matrix_command == "collate":
+        payloads = load_results(args.results)
+        if not payloads:
+            print(f"no cell results under {args.results!r}")
+            return 1
+        _collate_and_report(payloads, args.axis, args.csv,
+                            args.report == "json")
+        return 0
+    if args.matrix_command != "run":
+        parser.parse_args(["matrix", "--help"])
+        return 2
+
+    try:
+        cells = []
+        for name in args.names:
+            cells.extend(matrix_cells(name))
+        if args.protocols:
+            ad_hoc = MatrixSpec(
+                name="cli",
+                protocols=tuple(args.protocols),
+                backends=tuple(args.backends or ("sim",)),
+                client_counts=(tuple(args.clients) if args.clients
+                               else (None,)),
+                batch_sizes=(tuple(args.batch_sizes) if args.batch_sizes
+                             else (None,)))
+            cells.extend(ad_hoc.cells())
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+    if not cells:
+        raise SystemExit("nothing to run: name a committed matrix (see "
+                         "'repro matrix run smoke') or give --protocols")
+    # Across several named matrices the same cell can legitimately appear
+    # twice (e.g. 'fig6' plus 'curves'); one run per content hash suffices.
+    unique: dict[str, object] = {}
+    for cell in cells:
+        unique.setdefault(cell.content_hash, cell)
+    dropped = len(cells) - len(unique)
+    if dropped:
+        print(f"note: {dropped} duplicate cell(s) collapsed by content hash")
+    as_json = args.report == "json"
+    runner = MatrixRunner(results_dir=args.results,
+                          log=None if as_json else print)
+    result = runner.run(list(unique.values()))
+    summary = (f"cells: {len(result)} (executed {result.executed}, "
+               f"resumed {result.resumed}) -> {args.results}")
+    report = _collate_and_report([outcome.payload for outcome in result],
+                                 args.axis, args.csv, as_json)
+    if not as_json:
+        print(summary)
+    else:
+        import json
+
+        report["executed"] = result.executed
+        report["resumed"] = result.resumed
+    if args.assert_resumed and result.executed:
+        print(f"--assert-resumed: {result.executed} cell(s) executed "
+              "instead of resuming")
+        return 1
+    return 0
+
+
 def run_diag(args) -> int:
     """Probe a live deployment and write a diagnostics bundle.
 
@@ -358,21 +557,15 @@ def run_diag(args) -> int:
     from .backends import resolve_backend
     from .common.errors import StallError
     from .obsv import ObservabilityConfig, snapshot_diagnostics, write_diagnostics
-    from .runtime.experiments import build_config
-    from .runtime.spec import DeploymentSpec
 
-    protocol = _resolve_protocol(args.protocol)
     backend = resolve_backend(args.backend)
     if not backend.realtime:
         raise SystemExit(f"'repro diag' probes a real-time backend; "
                          f"{args.backend!r} is the simulator")
-    config = build_config(protocol, SCALES[args.scale])
     observe = ObservabilityConfig(
         trace=True, collect_health=True,
         health_interval_us=max(args.seconds * 1_000_000.0 / 10.0, 10_000.0))
-    spec = DeploymentSpec(config, backend=backend,
-                          num_shards=args.shards if args.sharded else None,
-                          observe=observe)
+    spec = spec_from_args(args, observe=observe)
     deployment = spec.build()
     stalled: Optional[StallError] = None
     try:

@@ -1,0 +1,210 @@
+"""Axis lists and their expansion into the cell product.
+
+A :class:`MatrixSpec` names one experiment matrix declaratively: lists of
+axis values (protocol × backend × client count × batch size × f × shard
+count × fault plan) plus the sizing scale they apply to.  ``cells()``
+expands the product into fully-resolved :class:`~repro.matrix.cell.Cell`
+objects, validating every axis value against the live registries up front
+(unknown protocol or backend names fail before anything runs) and refusing
+matrices whose expansion contains duplicate content hashes — two axis
+combinations that resolve to the same deployment are a specification bug,
+not two data points.
+
+Axes left at their default contribute neither product terms nor row
+columns, so a matrix that only sweeps clients produces rows whose axis
+columns are exactly ``clients`` — the same shape the historical ``figure*``
+tables had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Optional
+
+from ..common.errors import ConfigurationError
+from ..backends import resolve_backend
+from ..runtime.spec import DeploymentSpec
+from .cell import Cell
+
+if TYPE_CHECKING:
+    from ..recovery.schedule import FaultSchedule
+    from ..runtime.experiments import ExperimentScale
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One value of the fault-schedule axis.
+
+    Crashes the highest-numbered replica (always a non-primary) at
+    ``crash_s`` and restarts it at ``restart_s`` — the timeline of the
+    recovery figures — parameterised so one plan applies across protocols
+    whose replica counts differ.
+    """
+
+    name: str
+    crash_s: float
+    restart_s: float
+    #: fixed run horizon; folded into the cell's hashed experiment config
+    #: (``max_sim_time_us``), so plans with different horizons hash apart.
+    end_s: float = 0.0
+    wipe_store: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.end_s:
+            object.__setattr__(self, "end_s", self.restart_s * 2.0)
+
+    def schedule(self, protocol: str, f: int) -> "FaultSchedule":
+        """Resolve the plan against one protocol's replica count."""
+        from ..protocols.registry import get_protocol
+        from ..recovery.schedule import FaultSchedule, crash_at, restart_at
+
+        crashed = get_protocol(protocol).replicas(f) - 1
+        return FaultSchedule((
+            crash_at(crashed, self.crash_s * 1_000_000.0),
+            restart_at(crashed, self.restart_s * 1_000_000.0,
+                       wipe_store=self.wipe_store),
+        ))
+
+
+#: sentinel tuple meaning "axis not swept": contributes no product term and
+#: no row column.
+_UNSET = (None,)
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """Declarative axis lists for one experiment matrix."""
+
+    name: str
+    protocols: tuple[str, ...]
+    backends: tuple[str, ...] = ("sim",)
+    #: closed-loop client counts (sharded cells read these per shard).
+    client_counts: tuple[Optional[int], ...] = _UNSET
+    batch_sizes: tuple[Optional[int], ...] = _UNSET
+    f_values: tuple[Optional[int], ...] = _UNSET
+    shard_counts: tuple[Optional[int], ...] = _UNSET
+    fault_plans: tuple[Optional[FaultPlan], ...] = _UNSET
+    #: sizing scale; ``None`` means the laptop-scale default
+    #: (:data:`~repro.runtime.experiments.SMALL_SCALE`).
+    scale: Optional["ExperimentScale"] = None
+    #: experiment-length overrides applied on top of ``scale`` — live cells
+    #: shrink these so wall-clock matrices stay tractable.
+    warmup_batches: Optional[int] = None
+    measured_batches: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def _scale(self) -> "ExperimentScale":
+        from ..runtime.experiments import SMALL_SCALE
+
+        scale = self.scale if self.scale is not None else SMALL_SCALE
+        overrides = {}
+        if self.warmup_batches is not None:
+            overrides["warmup_batches"] = self.warmup_batches
+        if self.measured_batches is not None:
+            overrides["measured_batches"] = self.measured_batches
+        if self.max_seconds is not None:
+            overrides["max_sim_seconds"] = self.max_seconds
+        return replace(scale, **overrides) if overrides else scale
+
+    def validate(self) -> None:
+        """Reject unknown axis values before anything is built or run."""
+        from ..protocols.registry import PROTOCOLS
+
+        if not self.protocols:
+            raise ConfigurationError(f"matrix {self.name!r} lists no protocols")
+        for protocol in self.protocols:
+            if protocol not in PROTOCOLS:
+                raise ConfigurationError(
+                    f"matrix {self.name!r}: unknown protocol {protocol!r}; "
+                    f"known protocols: {', '.join(sorted(PROTOCOLS))}")
+        for backend in self.backends:
+            resolve_backend(backend)  # raises ConfigurationError when unknown
+        for axis, values in (("client_counts", self.client_counts),
+                             ("batch_sizes", self.batch_sizes),
+                             ("f_values", self.f_values),
+                             ("shard_counts", self.shard_counts)):
+            for value in values:
+                if value is not None and (not isinstance(value, int) or value <= 0):
+                    raise ConfigurationError(
+                        f"matrix {self.name!r}: {axis} value {value!r} is not "
+                        "a positive integer")
+
+    def cells(self) -> list[Cell]:
+        """Expand the axis product into fully-resolved cells."""
+        from ..runtime.experiments import build_config
+
+        self.validate()
+        scale = self._scale()
+        cells: list[Cell] = []
+        seen: dict[str, str] = {}
+        for protocol in self.protocols:
+            for backend_name in self.backends:
+                backend = resolve_backend(backend_name)
+                for clients in self.client_counts:
+                    for batch_size in self.batch_sizes:
+                        for f in self.f_values:
+                            for shards in self.shard_counts:
+                                for plan in self.fault_plans:
+                                    cells.append(self._cell(
+                                        build_config, scale, protocol,
+                                        backend, clients, batch_size, f,
+                                        shards, plan))
+        for cell in cells:
+            content_hash = cell.content_hash
+            if content_hash in seen:
+                raise ConfigurationError(
+                    f"matrix {self.name!r}: cells {seen[content_hash]!r} and "
+                    f"{cell.label!r} resolve to the same deployment "
+                    f"({content_hash}); remove one axis combination")
+            seen[content_hash] = cell.label
+        return cells
+
+    def _cell(self, build_config, scale, protocol, backend, clients,
+              batch_size, f, shards, plan) -> Cell:
+        effective_f = scale.f if f is None else f
+        # Sharded cells keep the offered load per group constant, like the
+        # scale-out figure: the client axis is read per shard.
+        total_clients = clients
+        if shards is not None:
+            per_shard = scale.num_clients if clients is None else clients
+            total_clients = per_shard * shards
+        config = build_config(protocol, scale, f=f,
+                              num_clients=total_clients,
+                              batch_size=batch_size)
+        schedule = None
+        if plan is not None:
+            schedule = plan.schedule(protocol, effective_f)
+            config = config.with_updates(experiment=replace(
+                config.experiment, max_sim_time_us=plan.end_s * 1_000_000.0))
+        spec = DeploymentSpec(config, backend=backend,
+                              num_shards=shards,
+                              fault_schedule=schedule)
+        axes: dict[str, object] = {}
+        if self.client_counts != _UNSET:
+            axes["clients"] = (scale.num_clients if clients is None
+                               else clients)
+        if self.batch_sizes != _UNSET:
+            axes["batch_size"] = (scale.batch_size if batch_size is None
+                                  else batch_size)
+        if self.f_values != _UNSET:
+            axes["f"] = effective_f
+        if self.shard_counts != _UNSET and shards is not None:
+            axes["shards_axis"] = shards  # 'shards' itself comes from as_row()
+        if self.fault_plans != _UNSET:
+            axes["fault"] = "none" if plan is None else plan.name
+        return Cell(spec=spec, axes=axes)
+
+    def axis_names(self) -> tuple[str, ...]:
+        """The swept axis columns, in display order."""
+        names = []
+        if self.client_counts != _UNSET:
+            names.append("clients")
+        if self.batch_sizes != _UNSET:
+            names.append("batch_size")
+        if self.f_values != _UNSET:
+            names.append("f")
+        if self.shard_counts != _UNSET:
+            names.append("shards_axis")
+        if self.fault_plans != _UNSET:
+            names.append("fault")
+        return tuple(names)

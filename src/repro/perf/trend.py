@@ -1,13 +1,21 @@
-"""Collate ``BENCH_*.json`` artifacts into per-scenario trend tables.
+"""Collate perf artifacts into per-scenario trend tables.
 
 The CI perf gate is tolerant by design (fail only beyond 25% regression), so
 a sequence of 5%-per-PR slowdowns sails through every individual check while
 compounding into a real regression.  The trend view makes that creep
-visible: point it at a directory of collected ``BENCH_*.json`` artifacts
-(e.g. the per-run artifact downloads of the perf CI job, one subdirectory
-per run) and it groups them by ``(scenario, scale)``, orders them by their
-recorded timestamp, and reports each run's drift against the previous run
-and against the oldest one.
+visible: point it at a directory of collected artifacts (e.g. the per-run
+artifact downloads of the perf CI job, one subdirectory per run) and it
+groups them by ``(scenario, scale)``, orders them by their recorded
+timestamp, and reports each run's drift against the previous run and
+against the oldest one.
+
+Two artifact shapes are understood:
+
+* ``BENCH_*.json`` — perf-harness scenario results;
+* ``<cell-hash>.json`` — matrix cell results (see :mod:`repro.matrix`),
+  shown as scenario ``matrix:<label>`` with the backend as the scale and
+  the cell's ``row_digest`` as the determinism digest, so matrix cells get
+  the same drift/digest tracking as the hand-written scenarios.
 
 Entry point: ``python -m repro perf --trend DIR``.
 """
@@ -16,8 +24,12 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from dataclasses import dataclass
 from typing import Iterable, Optional
+
+#: matrix cell result files are named after their 16-hex content hash.
+_CELL_FILE = re.compile(r"^[0-9a-f]{16}\.json$")
 
 
 @dataclass(frozen=True)
@@ -53,11 +65,16 @@ class TrendRow:
 
 
 def find_bench_files(root: str) -> list[str]:
-    """All ``BENCH_*.json`` files under ``root`` (recursive, sorted)."""
+    """All perf artifacts under ``root`` (recursive, sorted).
+
+    Matches the perf harness' ``BENCH_*.json`` files and the matrix
+    runner's ``<cell-hash>.json`` files.
+    """
     found = []
     for dirpath, _dirnames, filenames in os.walk(root):
         for filename in filenames:
-            if filename.startswith("BENCH_") and filename.endswith(".json"):
+            if ((filename.startswith("BENCH_") and filename.endswith(".json"))
+                    or _CELL_FILE.match(filename)):
                 found.append(os.path.join(dirpath, filename))
     return sorted(found)
 
@@ -70,6 +87,11 @@ def load_points(paths: Iterable[str]) -> list[TrendPoint]:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
         except (OSError, ValueError):
+            continue
+        if "cell_hash" in payload and "scenario" not in payload:
+            point = _cell_point(path, payload)
+            if point is not None:
+                points.append(point)
             continue
         if "scenario" not in payload:
             continue
@@ -85,6 +107,31 @@ def load_points(paths: Iterable[str]) -> list[TrendPoint]:
             metrics_digest=str(payload.get("metrics_digest", "")),
         ))
     return points
+
+
+def _cell_point(path: str, payload: dict) -> Optional[TrendPoint]:
+    """Reduce a matrix cell payload to a trend point.
+
+    Cell wall-clock times are not event-normalized (a cell is pinned to one
+    spec, so its workload is constant across runs) — ``normalized_wall``
+    is just ``wall_seconds``.  Realtime cells carry an empty ``row_digest``
+    and therefore never trip the digest-changed flag.
+    """
+    label = str(payload.get("label") or payload.get("cell_hash", "?"))
+    try:
+        wall = float(payload.get("wall_seconds", 0.0))
+    except (TypeError, ValueError):
+        return None
+    return TrendPoint(
+        path=path,
+        scenario=f"matrix:{label}",
+        scale=str(payload.get("backend", "?")),
+        recorded_at=str(payload.get("recorded_at", "")),
+        wall_seconds=wall,
+        normalized_wall=wall,
+        events=int(payload.get("events", 0) or 0),
+        metrics_digest=str(payload.get("row_digest", "")),
+    )
 
 
 def collate_trend(points: Iterable[TrendPoint]) -> dict[tuple[str, str], list[TrendRow]]:

@@ -1,11 +1,24 @@
 """Experiment definitions reproducing every figure of the evaluation.
 
-Each ``figure*`` function builds the deployments, runs them, and returns a
-list of flat row dictionaries (one per plotted point / table cell) that the
-benchmark harness and the examples print.  The experiments accept an
+Each ``figure*`` function is a thin *matrix definition*: it expands its
+sweep into content-hashed :class:`~repro.matrix.cell.Cell` objects, runs
+them through the :class:`~repro.matrix.runner.MatrixRunner`, and returns a
+:class:`FigureResult` — a sequence of flat row dictionaries (one per
+plotted point / table cell, exactly the rows the bare-list API used to
+return) that also carries the cells behind them and knows how to collate
+itself into curve series.  Existing consumers that iterated or indexed the
+row list keep working; new consumers can resume the same cells from a
+results directory via ``repro matrix run`` or feed their hashes into
+``repro perf --trend``.  The experiments accept an
 :class:`ExperimentScale` so the same code runs both at laptop scale (the
 default, used by the test-suite and benchmarks) and at paper scale (f up to
 32, 97 replicas, thousands of clients) when more time is available.
+
+Two figures stay off the matrix path by construction: Figure 5 injects an
+instrumented replica factory (not expressible as a spec), and the recovery
+figure drives a warm-cache timeline whose rows are pinned byte-identical by
+the perf harness's determinism digests.  Both still return a
+:class:`FigureResult` (with no cells attached).
 
 Mapping to the paper (see DESIGN.md for the full index):
 
@@ -54,6 +67,11 @@ from ..core.instrumented import FIGURE5_BARS, instrumented_pbft_factory
 from ..net.topology import PAPER_REGIONS
 from ..protocols.registry import get_protocol
 from .deployment import Deployment, RunResult
+from .spec import DeploymentSpec
+
+if TYPE_CHECKING:
+    from ..matrix.cell import Cell
+    from ..matrix.collate import CurveSeries
 
 
 @dataclass(frozen=True)
@@ -92,6 +110,56 @@ PAPER_SCALE = ExperimentScale(
     warmup_batches=10, measured_batches=100, wan_f=20,
     tc_latencies_ms=(1.0, 1.5, 2.0, 2.5, 3.0, 10.0, 30.0, 100.0, 200.0),
     worker_threads=16, max_sim_seconds=300.0)
+
+
+# ---------------------------------------------------------------------------
+# structured figure results
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FigureResult:
+    """What one figure experiment produced: rows, cells, curves.
+
+    Behaves as a read-only sequence of the flat row dictionaries the
+    ``figure*`` functions historically returned (iteration, indexing,
+    ``len``), so pre-matrix consumers work unchanged.  ``cells`` are the
+    content-hashed experiment points behind the rows (empty for the two
+    figures that cannot run through the matrix engine), and ``curves()``
+    collates the rows into figure-6-style per-protocol series along the
+    figure's natural axis.
+    """
+
+    rows: tuple[dict, ...]
+    cells: tuple["Cell", ...] = ()
+    #: the row column curves are plotted along (``None``: no natural axis).
+    axis: Optional[str] = None
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __getitem__(self, index):
+        return self.rows[index]
+
+    def curves(self, axis: Optional[str] = None) -> list["CurveSeries"]:
+        """Collate the rows into per-(protocol, backend) curve series."""
+        from ..matrix.collate import collate_curves
+
+        axis = axis or self.axis
+        if axis is None:
+            return []
+        return collate_curves(self.rows, axis=axis)
+
+
+def _figure(cells: list["Cell"], axis: Optional[str] = None) -> FigureResult:
+    """Run cells through the matrix runner (no persistence) into a result."""
+    # Imported lazily: repro.matrix builds on repro.runtime.
+    from ..matrix.runner import MatrixRunner
+
+    outcome = MatrixRunner().run(cells)
+    return FigureResult(rows=tuple(outcome.rows), cells=tuple(cells),
+                        axis=axis)
 
 
 # ---------------------------------------------------------------------------
@@ -166,79 +234,93 @@ def print_rows(title: str, rows: list[dict]) -> None:
 # Figure 5: trusted counter / signature attestation costs on Pbft
 # ---------------------------------------------------------------------------
 def figure5_trusted_counter_costs(scale: ExperimentScale = SMALL_SCALE,
-                                  hardware: TrustedHardwareSpec = SGX_ENCLAVE_COUNTER) -> list[dict]:
-    """Peak Pbft throughput for each of the seven bars (single worker)."""
+                                  hardware: TrustedHardwareSpec = SGX_ENCLAVE_COUNTER) -> FigureResult:
+    """Peak Pbft throughput for each of the seven bars (single worker).
+
+    Stays off the matrix path: each bar injects an instrumented replica
+    factory, which a declarative spec cannot express, so no cells attach.
+    """
     rows = []
     for usage in FIGURE5_BARS:
         config = build_config("pbft", scale, worker_threads=1, hardware=hardware)
         result = run_point(config, replica_factory=instrumented_pbft_factory(usage))
         rows.append(_row("pbft", result, bar=usage.label,
                          configuration=usage.description))
-    return rows
+    return FigureResult(rows=tuple(rows))
 
 
 # ---------------------------------------------------------------------------
 # Figure 6(i): throughput vs latency as the client population grows
 # ---------------------------------------------------------------------------
 def figure6_throughput_latency(scale: ExperimentScale = SMALL_SCALE,
-                               protocols: Optional[Iterable[str]] = None) -> list[dict]:
+                               protocols: Optional[Iterable[str]] = None) -> FigureResult:
     """Throughput/latency pairs per protocol as offered load increases."""
-    rows = []
-    for protocol in (protocols or scale.protocols):
-        for clients in scale.client_values:
-            config = build_config(protocol, scale, num_clients=clients)
-            result = run_point(config)
-            rows.append(_row(protocol, result, clients=clients))
-    return rows
+    from ..matrix.spec import MatrixSpec
+
+    matrix = MatrixSpec(name="figure6_throughput",
+                        protocols=tuple(protocols or scale.protocols),
+                        client_counts=scale.client_values, scale=scale)
+    return _figure(matrix.cells(), axis="clients")
 
 
 # ---------------------------------------------------------------------------
 # Figure 6(ii)/(iii): scalability in the number of replicas
 # ---------------------------------------------------------------------------
 def figure6_scalability(scale: ExperimentScale = SMALL_SCALE,
-                        protocols: Optional[Iterable[str]] = None) -> list[dict]:
+                        protocols: Optional[Iterable[str]] = None) -> FigureResult:
     """Throughput and latency as ``f`` (and hence n) grows."""
-    rows = []
+    from ..matrix.cell import Cell
+
+    cells = []
     for protocol in (protocols or scale.core_protocols):
         spec = get_protocol(protocol)
         for f in scale.f_values:
             config = build_config(protocol, scale, f=f)
-            result = run_point(config)
-            rows.append(_row(protocol, result, f=f, n=spec.replicas(f)))
-    return rows
+            cells.append(Cell(spec=DeploymentSpec(config),
+                              axes={"f": f, "n": spec.replicas(f)}))
+    return _figure(cells, axis="f")
 
 
 # ---------------------------------------------------------------------------
 # Figure 6(iv)/(v): batching
 # ---------------------------------------------------------------------------
 def figure6_batching(scale: ExperimentScale = SMALL_SCALE,
-                     protocols: Optional[Iterable[str]] = None) -> list[dict]:
-    """Throughput and latency as the batch size grows."""
-    rows = []
+                     protocols: Optional[Iterable[str]] = None) -> FigureResult:
+    """Throughput and latency as the batch size grows.
+
+    The client count is coupled to the batch size (enough offered load to
+    fill the larger batches), so the cells are built directly rather than
+    as an independent-axis product.
+    """
+    from ..matrix.cell import Cell
+
+    cells = []
     for protocol in (protocols or scale.core_protocols):
         for batch_size in scale.batch_values:
             clients = max(scale.num_clients, 6 * batch_size)
             config = build_config(protocol, scale, batch_size=batch_size,
                                   num_clients=clients)
-            result = run_point(config)
-            rows.append(_row(protocol, result, batch_size=batch_size))
-    return rows
+            cells.append(Cell(spec=DeploymentSpec(config),
+                              axes={"batch_size": batch_size}))
+    return _figure(cells, axis="batch_size")
 
 
 # ---------------------------------------------------------------------------
 # Figure 6(vi)/(vii): wide-area replication
 # ---------------------------------------------------------------------------
 def figure6_wan(scale: ExperimentScale = SMALL_SCALE,
-                protocols: Optional[Iterable[str]] = None) -> list[dict]:
+                protocols: Optional[Iterable[str]] = None) -> FigureResult:
     """Throughput and latency as replicas spread over 1..6 regions."""
-    rows = []
+    from ..matrix.cell import Cell
+
+    cells = []
     for protocol in (protocols or scale.core_protocols):
         for region_count in range(1, scale.regions_max + 1):
             regions = PAPER_REGIONS[:region_count]
             config = build_config(protocol, scale, f=scale.wan_f, regions=regions)
-            result = run_point(config)
-            rows.append(_row(protocol, result, regions=region_count))
-    return rows
+            cells.append(Cell(spec=DeploymentSpec(config),
+                              axes={"regions": region_count}))
+    return _figure(cells, axis="regions")
 
 
 # ---------------------------------------------------------------------------
@@ -246,35 +328,39 @@ def figure6_wan(scale: ExperimentScale = SMALL_SCALE,
 # ---------------------------------------------------------------------------
 def figure7_failure(scale: ExperimentScale = SMALL_SCALE,
                     protocols: Optional[Iterable[str]] = None,
-                    f_values: Optional[tuple[int, ...]] = None) -> list[dict]:
+                    f_values: Optional[tuple[int, ...]] = None) -> FigureResult:
     """Throughput/latency with one crashed non-primary replica."""
-    rows = []
+    from ..matrix.cell import Cell
+
+    cells = []
     protocols = tuple(protocols or ("flexi-zz", "minzz", "zyzzyva", "flexi-bft", "minbft"))
     for protocol in protocols:
         spec = get_protocol(protocol)
         for f in (f_values or scale.f_values):
             n = spec.replicas(f)
             config = build_config(protocol, scale, f=f, crashed=(n - 1,))
-            result = run_point(config)
-            rows.append(_row(protocol, result, f=f, n=n, crashed=1))
-    return rows
+            cells.append(Cell(spec=DeploymentSpec(config),
+                              axes={"f": f, "n": n, "crashed": 1}))
+    return _figure(cells, axis="f")
 
 
 # ---------------------------------------------------------------------------
 # Figure 8: sweep of the trusted-hardware access latency
 # ---------------------------------------------------------------------------
 def figure8_hardware_sweep(scale: ExperimentScale = SMALL_SCALE,
-                           protocols: Optional[Iterable[str]] = None) -> list[dict]:
+                           protocols: Optional[Iterable[str]] = None) -> FigureResult:
     """Peak throughput versus trusted-counter access cost."""
-    rows = []
+    from ..matrix.cell import Cell
+
+    cells = []
     protocols = tuple(protocols or ("flexi-zz", "minzz", "minbft"))
     for access_ms in scale.tc_latencies_ms:
         hardware = SGX_ENCLAVE_COUNTER.with_latency(ms(access_ms))
         for protocol in protocols:
             config = build_config(protocol, scale, hardware=hardware)
-            result = run_point(config)
-            rows.append(_row(protocol, result, access_cost_ms=access_ms))
-    return rows
+            cells.append(Cell(spec=DeploymentSpec(config),
+                              axes={"access_cost_ms": access_ms}))
+    return _figure(cells, axis="access_cost_ms")
 
 
 # ---------------------------------------------------------------------------
@@ -314,7 +400,7 @@ def run_sharded_point(config: "ShardedConfig",
 
 def figure_sharding_scaleout(scale: ExperimentScale = SMALL_SCALE,
                              protocols: Optional[Iterable[str]] = None,
-                             shard_counts: tuple[int, ...] = (1, 2, 4)) -> list[dict]:
+                             shard_counts: tuple[int, ...] = (1, 2, 4)) -> FigureResult:
     """Aggregate throughput as the number of consensus groups grows.
 
     Keeps the offered load per shard constant (``scale.num_clients`` clients
@@ -323,13 +409,16 @@ def figure_sharding_scaleout(scale: ExperimentScale = SMALL_SCALE,
     (MinBFT) against a parallel FlexiTrust one (Flexi-BFT), extending the
     per-machine story of Figure 9 to multiple groups per deployment.
     """
-    rows = []
+    from ..matrix.cell import Cell
+
+    cells = []
     for protocol in (protocols or ("minbft", "flexi-bft")):
         for num_shards in shard_counts:
-            config = build_sharded_config(protocol, scale, num_shards=num_shards)
-            result = run_sharded_point(config)
-            rows.append(_row(protocol, result))  # 'shards' comes from as_row()
-    return rows
+            base = build_config(protocol, scale,
+                                num_clients=scale.num_clients * num_shards)
+            cells.append(Cell(
+                spec=DeploymentSpec(base, num_shards=num_shards)))
+    return _figure(cells, axis="shards")  # 'shards' comes from as_row()
 
 
 # ---------------------------------------------------------------------------
@@ -341,7 +430,7 @@ def figure_recovery(scale: ExperimentScale = SMALL_SCALE,
                     crash_s: float = 0.8, restart_s: float = 1.4,
                     end_s: float = 2.6,
                     fsync_latency_us: float = 20.0,
-                    reuse_warmup: bool = True) -> list[dict]:
+                    reuse_warmup: bool = True) -> FigureResult:
     """Throughput dip and time-to-recover after a crash/restart of a replica.
 
     A :class:`~repro.recovery.schedule.FaultSchedule` crashes the highest
@@ -410,28 +499,33 @@ def figure_recovery(scale: ExperimentScale = SMALL_SCALE,
             row["recovered"] = replica.stats.recoveries_completed > 0
             row["transfer_batches"] = replica.stats.log_fill_batches_applied
             rows.append(row)
-    return rows
+    # No cells: the warm-cache timeline (snapshot reuse across hardware
+    # levels) is not a per-cell run, and these rows are pinned byte-identical
+    # by the perf harness's recovery baselines — they must not gain columns.
+    return FigureResult(rows=tuple(rows))
 
 
 # ---------------------------------------------------------------------------
 # Figure 9: throughput per machine
 # ---------------------------------------------------------------------------
 def figure9_throughput_per_machine(scale: ExperimentScale = SMALL_SCALE,
-                                   protocols: Optional[Iterable[str]] = None) -> list[dict]:
+                                   protocols: Optional[Iterable[str]] = None) -> FigureResult:
     """Total throughput divided by the number of replicas, per ``f``."""
-    rows = []
+    from ..matrix.cell import Cell
+
+    cells = []
     protocols = tuple(protocols or ("flexi-zz", "minzz"))
     for protocol in protocols:
         spec = get_protocol(protocol)
         for f in scale.f_values:
-            n = spec.replicas(f)
             config = build_config(protocol, scale, f=f)
-            result = run_point(config)
-            row = _row(protocol, result, f=f, n=n)
-            row["throughput_per_machine"] = round(
-                row["throughput_tx_s"] / n, 1)
-            rows.append(row)
-    return rows
+            cells.append(Cell(spec=DeploymentSpec(config),
+                              axes={"f": f, "n": spec.replicas(f)}))
+    result = _figure(cells, axis="f")
+    for row in result.rows:
+        row["throughput_per_machine"] = round(
+            row["throughput_tx_s"] / row["n"], 1)
+    return result
 
 
 ALL_EXPERIMENTS = {

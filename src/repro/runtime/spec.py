@@ -25,12 +25,43 @@ from typing import TYPE_CHECKING, Optional, Union
 from ..backends import Backend, resolve_backend
 from ..common.config import DeploymentConfig
 from ..common.errors import ConfigurationError
+from ..crypto.digest import digest
 from ..obsv.health import ObservabilityConfig
-from ..recovery.schedule import FaultSchedule
+from ..recovery.schedule import FaultEvent, FaultSchedule
 from .deployment import Deployment
 
 if TYPE_CHECKING:
     from ..sharding.deployment import ShardedDeployment
+
+#: hex characters of a cell hash (64 bits of the SHA-256 digest): short
+#: enough for file names and table columns, long enough that two distinct
+#: cells colliding inside one matrix is effectively impossible (and the
+#: matrix expander refuses duplicate hashes outright).
+CELL_HASH_HEX = 16
+
+
+def _describe_fault_event(event: FaultEvent) -> dict:
+    """Plain-data form of one fault event for canonical hashing.
+
+    Fields at their defaults are omitted so a hash recorded before a new
+    (defaulted) ``FaultEvent`` field existed stays valid after it is added.
+    """
+    description: dict = {"kind": event.kind.value, "at_us": event.at_us}
+    if event.replica is not None:
+        description["replica"] = event.replica
+    if event.replicas:
+        description["replicas"] = tuple(sorted(event.replicas))
+    if event.name:
+        description["name"] = event.name
+    if not event.recover:
+        description["recover"] = False
+    if event.wipe_store:
+        description["wipe_store"] = True
+    return description
+
+
+def _describe_schedule(schedule: FaultSchedule) -> tuple[dict, ...]:
+    return tuple(_describe_fault_event(event) for event in schedule.events)
 
 
 @dataclass(frozen=True)
@@ -79,6 +110,55 @@ class DeploymentSpec:
             raise ConfigurationError(
                 "fault_schedules address shards; a plain deployment takes "
                 "a single fault_schedule")
+
+    def describe(self) -> dict:
+        """Canonical plain-data description of everything the spec resolves.
+
+        This is the hashing surface of the experiment-matrix engine: two
+        specs describe identically exactly when they would build and run the
+        same deployment.  Three rules keep the resulting hashes stable and
+        meaningful:
+
+        * **Backends hash by name.**  A ``Backend`` instance and the string
+          that resolves to it describe identically.
+        * **Fields at their neutral default are omitted** (``wire_format``
+          left to the backend, no shards, no fault schedule), so a hash
+          recorded before a defaulted field existed stays valid after it is
+          added — and passing a default explicitly never changes a hash.
+        * **Observability is excluded.**  Tracing and health sampling observe
+          a run without changing its results (the ``obsv_overhead`` scenario
+          pins this), so toggling them must not invalidate resumable cell
+          results.
+        """
+        backend = resolve_backend(self.backend)
+        description: dict = {"config": self.config, "backend": backend.name}
+        if self.wire_format is not None:
+            description["wire_format"] = self.wire_format
+        if self.num_shards is not None:
+            description["num_shards"] = self.num_shards
+            description["router_seed"] = self.router_seed
+            if self.num_clients is not None:
+                description["num_clients"] = self.num_clients
+        if self.fault_schedule is not None:
+            description["fault_schedule"] = _describe_schedule(self.fault_schedule)
+        if self.fault_schedules:
+            description["fault_schedules"] = {
+                shard: _describe_schedule(schedule)
+                for shard, schedule in self.fault_schedules.items()}
+        return description
+
+    def cell_hash(self) -> str:
+        """Stable content hash of the fully-resolved spec.
+
+        The hex prefix (:data:`CELL_HASH_HEX` characters) of the SHA-256
+        digest of :meth:`describe`'s canonical encoding
+        (:func:`repro.crypto.digest.digest`, the same encoding the wire
+        format and the determinism digests use).  A
+        :class:`~repro.matrix.cell.Cell` hashes as its spec does, so a cell,
+        its result file ``results/<hash>.json`` and a hand-built spec all
+        name the same identity.
+        """
+        return digest(self.describe()).hex()[:CELL_HASH_HEX]
 
     def build(self) -> Union[Deployment, "ShardedDeployment"]:
         """Construct the deployment this spec describes."""

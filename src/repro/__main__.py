@@ -11,6 +11,9 @@ prints its row table, or drives the performance harness::
     python -m repro live --protocol pbft --clients 16 --requests 200
     python -m repro live --backend tcp --sharded
     python -m repro live --backend tcp --sharded --shards 4 --protocol minbft
+    python -m repro live --backend tcp --trace trace.jsonl --metrics-port 9464
+    python -m repro trace analyze trace.jsonl
+    python -m repro trace analyze trace.jsonl --min-completeness 0.95
     python -m repro matrix list
     python -m repro matrix run smoke --results matrix-results
     python -m repro matrix run curves --results matrix-results --csv curves.csv
@@ -119,6 +122,14 @@ def _build_parser() -> argparse.ArgumentParser:
     live.add_argument("--trace", default=None, metavar="FILE",
                       help="enable structured tracing and write the retained "
                            "events to FILE as JSON lines at the end of the run")
+    live.add_argument("--metrics-port", type=int, default=None, metavar="PORT",
+                      help="serve a Prometheus text-format metrics endpoint "
+                           "on 127.0.0.1:PORT while the run is in flight "
+                           "(health gauges, trace counters, span latency "
+                           "decomposition)")
+    live.add_argument("--health-out", default=None, metavar="FILE",
+                      help="write the periodic health samples (from "
+                           "--health-interval) to FILE as JSON lines")
     live.add_argument("--health-interval", type=float, default=None,
                       metavar="SECONDS",
                       help="sample per-replica health every SECONDS while the "
@@ -226,6 +237,28 @@ def _build_parser() -> argparse.ArgumentParser:
                                 default="table",
                                 help="output format (default: table)")
 
+    trace = subparsers.add_parser(
+        "trace", help="analyze trace JSONL exports (per-request lifecycle "
+                      "spans, latency decomposition)")
+    trace_commands = trace.add_subparsers(dest="trace_command")
+    trace_analyze = trace_commands.add_parser(
+        "analyze", help="reconstruct per-request spans from a JSONL trace "
+                        "and print the four-phase latency decomposition")
+    trace_analyze.add_argument("file", metavar="FILE",
+                               help="trace file written by 'repro live "
+                                    "--trace FILE'")
+    trace_analyze.add_argument("--report", choices=("table", "json"),
+                               default="table",
+                               help="output format (default: table)")
+    trace_analyze.add_argument("--min-completeness", type=float, default=None,
+                               metavar="FRACTION",
+                               help="exit 1 unless at least this fraction of "
+                                    "observed requests reconstructed into "
+                                    "complete spans (CI gate)")
+    trace_analyze.add_argument("--out", default=None, metavar="FILE",
+                               help="also write the span summary as JSON to "
+                                    "FILE (CI artifact)")
+
     diag = subparsers.add_parser(
         "diag", parents=[parent],
         help="run a short live deployment with tracing and health "
@@ -277,6 +310,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return run_perf(args)
     if args.command == "diag":
         return run_diag(args)
+    if args.command == "trace":
+        return run_trace(args, parser)
     parser.print_help()
     return 2
 
@@ -344,6 +379,27 @@ def _write_trace(deployment, path: Optional[str]) -> None:
               f"{deployment.tracer.dropped} dropped)")
 
 
+def _write_health_samples(deployment, path: Optional[str]) -> None:
+    if path:
+        from .obsv import write_health_jsonl
+
+        count = write_health_jsonl(deployment.health_samples, path)
+        print(f"health samples written: {path} ({count} samples)")
+
+
+def _stop_exporter(deployment, exporter) -> None:
+    """Cancel the metrics server task and await it on the (live) loop."""
+    if exporter is None:
+        return
+    import asyncio
+
+    tasks = exporter.stop()
+    loop = deployment.sim.loop
+    if tasks and not loop.is_closed():
+        loop.run_until_complete(
+            asyncio.gather(*tasks, return_exceptions=True))
+
+
 def _handle_stall(error, trace_path: Optional[str],
                   diag_path: Optional[str]) -> int:
     """Persist a StallError's diagnostics bundle and report the suspect."""
@@ -356,6 +412,37 @@ def _handle_stall(error, trace_path: Optional[str],
         print(f"suspect replica: {error.suspect}")
     print(f"diagnostics bundle written: {path}")
     return 1
+
+
+def run_trace(args, parser) -> int:
+    """Analyze a JSONL trace export into spans and a latency decomposition."""
+    import json
+    import os
+
+    from .obsv import analyze_file, format_summary
+
+    if args.trace_command != "analyze":
+        parser.parse_args(["trace", "--help"])
+        return 2
+    if not os.path.isfile(args.file):
+        raise SystemExit(f"trace analyze: no such file: {args.file!r}")
+    summary = analyze_file(args.file)
+    if args.report == "json":
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_summary(summary))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(summary.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"span summary written: {args.out}")
+    if (args.min_completeness is not None
+            and summary.completeness < args.min_completeness):
+        print(f"trace analyze FAILED: completeness "
+              f"{summary.completeness:.3f} < {args.min_completeness:.3f} "
+              f"({summary.complete}/{summary.requests} complete spans)")
+        return 1
+    return 0
 
 
 def run_live(args) -> int:
@@ -385,13 +472,26 @@ def run_live(args) -> int:
               "executes arbitrary code on receipt. Trusted localhost only; "
               "this escape hatch is removed next release.")
         wire_format = "pickle"
+    if args.health_out is not None and args.health_interval is None:
+        raise SystemExit("--health-out needs --health-interval to produce "
+                         "samples")
     spec = spec_from_args(args, wire_format=wire_format,
                           observe=_observe_from_args(args))
     cap_us = (None if args.max_seconds is None
               else args.max_seconds * 1_000_000.0)
     deployment = spec.build()
+    exporter = None
     try:
         verifier = ReplyVerifier(deployment)
+        if args.metrics_port is not None:
+            from .obsv import MetricsExporter, deployment_metrics_renderer
+
+            exporter = MetricsExporter(
+                deployment.sim, deployment_metrics_renderer(deployment),
+                port=args.metrics_port)
+            exporter.start()
+            print(f"metrics endpoint: "
+                  f"http://127.0.0.1:{args.metrics_port}/metrics")
         try:
             result = deployment.run_until_target(target_requests=args.requests,
                                                  max_sim_time_us=cap_us)
@@ -399,7 +499,9 @@ def run_live(args) -> int:
             _write_trace(deployment, args.trace)
             return _handle_stall(error, args.trace, args.diag)
         _write_trace(deployment, args.trace)
+        _write_health_samples(deployment, args.health_out)
     finally:
+        _stop_exporter(deployment, exporter)
         deployment.close()
     row = {"protocol": protocol, "backend": backend.name}
     if args.sharded:

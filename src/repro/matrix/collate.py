@@ -97,6 +97,10 @@ def collate_curves(rows: Iterable[dict], axis: str = "clients",
         for row in sorted(group, key=lambda r: _sort_key(r[axis])):
             columns = {name: row[name] for name in _MEASUREMENTS
                        if name in row}
+            # Traced cells fold their span latency decomposition in; the
+            # columns are dynamic (one pair per reconstructed phase).
+            columns.update({name: value for name, value in row.items()
+                            if name.startswith("span_")})
             seconds = (wall_seconds or {}).get(row.get("cell"))
             if seconds:
                 columns["wall_tx_s"] = round(
@@ -111,8 +115,17 @@ def collate_payloads(payloads: Iterable[dict],
                      axis: str = "clients") -> list[CurveSeries]:
     """Collate persisted cell payloads (``results/<hash>.json`` contents)."""
     payloads = list(payloads)
-    rows = [payload["row"] for payload in payloads
-            if isinstance(payload.get("row"), dict)]
+    rows = []
+    for payload in payloads:
+        row = payload.get("row")
+        if not isinstance(row, dict):
+            continue
+        span_summary = payload.get("span_summary")
+        if isinstance(span_summary, dict):
+            # Payload-only span columns join the row for collation (they
+            # stay out of the stored row and its determinism digest).
+            row = {**row, **span_summary}
+        rows.append(row)
     wall = {payload.get("cell_hash"): payload.get("wall_seconds")
             for payload in payloads}
     return collate_curves(rows, axis=axis, wall_seconds=wall)

@@ -186,4 +186,11 @@ class MatrixRunner:
         }
         if verifier is not None:
             payload["replies_verified"] = verifier.verified
+        if deployment.tracer is not None:
+            # Span aggregates live in the payload, not the row: simulated
+            # row digests must not depend on whether tracing was on.
+            from ..obsv.spans import analyze_events
+
+            payload["span_summary"] = analyze_events(
+                deployment.tracer).as_row()
         return payload

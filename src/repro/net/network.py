@@ -215,17 +215,19 @@ class Network:
                               detail=type(payload).__name__)
             return
         tracer = self._tracer
+        context = None
         if tracer is not None:
-            tracer.record("msg.send", node=source,
-                          detail=type(payload).__name__)
-        self._schedule_delivery(target, envelope)
+            context = tracer.record_span("msg.send", node=source,
+                                         detail=type(payload).__name__)
+        self._schedule_delivery(target, envelope, context)
 
-    def _schedule_delivery(self, target: NetworkNode, envelope: Envelope) -> None:
+    def _schedule_delivery(self, target: NetworkNode, envelope: Envelope,
+                           context=None) -> None:
         """Arrange for ``envelope`` to reach ``target`` at its delivery time."""
         # partial, not a lambda: in-flight deliveries must survive a deepcopy
         # of the deployment (warmed-snapshot reuse in recovery experiments).
         self._sim.schedule_at(envelope.delivered_at,
-                              partial(self._deliver, target, envelope))
+                              partial(self._deliver, target, envelope, context))
 
     def broadcast(self, source: str, destinations: Iterable[str], payload: object,
                   earliest_departure: Optional[Micros] = None,
@@ -236,13 +238,28 @@ class Network:
                 continue
             self.send(source, destination, payload, earliest_departure)
 
-    def _deliver(self, node: NetworkNode, envelope: Envelope) -> None:
+    def _deliver(self, node: NetworkNode, envelope: Envelope,
+                 context=None) -> None:
         self.stats.messages_delivered += 1
         tracer = self._tracer
+        previous = None
         if tracer is not None:
-            tracer.record("msg.recv", node=envelope.destination,
-                          detail=type(envelope.payload).__name__)
-        node.receive(envelope)
+            previous = tracer.current
+            if context is not None:
+                # The recv span parents to the sender's msg.send span and
+                # becomes the context in scope while the node handles the
+                # message, linking every downstream event to this hop.
+                tracer.current = tracer.record_span(
+                    "msg.recv", node=envelope.destination,
+                    detail=type(envelope.payload).__name__, parent=context)
+            else:
+                tracer.record("msg.recv", node=envelope.destination,
+                              detail=type(envelope.payload).__name__)
+        try:
+            node.receive(envelope)
+        finally:
+            if tracer is not None:
+                tracer.current = previous
 
     # ---------------------------------------------------- adversary control
     def add_rule(self, rule: MessageRule) -> MessageRule:

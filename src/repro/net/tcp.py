@@ -65,7 +65,8 @@ class TcpTransport(Network):
         self._closed = False
 
     # ------------------------------------------------------------- delivery
-    def _schedule_delivery(self, target: NetworkNode, envelope: Envelope) -> None:
+    def _schedule_delivery(self, target: NetworkNode, envelope: Envelope,
+                           context=None) -> None:
         """Frame the envelope and queue it for its destination's connection."""
         if self._closed:
             self.stats.messages_dropped += 1
@@ -82,7 +83,7 @@ class TcpTransport(Network):
             self._tasks.append(loop.create_task(
                 self._send_loop(envelope.destination, queue),
                 name=f"tcp-send/{envelope.destination}"))
-        queue.put_nowait(envelope)
+        queue.put_nowait((envelope, context))
 
     async def _serve(self) -> None:
         """Accept loop: bind an ephemeral localhost port, read frames forever."""
@@ -145,7 +146,10 @@ class TcpTransport(Network):
         """Decode one frame and schedule its delivery at the injected time."""
         if self._closed:
             return
-        envelope = self._codec.decode_payload(frame, flags)
+        # The trace context rides in the frame behind FLAG_TRACE, so the
+        # causal chain survives the real serialization boundary — exactly
+        # what a multi-process deployment will rely on.
+        envelope, context = self._codec.decode_payload_traced(frame, flags)
         if not isinstance(envelope, Envelope):
             raise MalformedWirePayload(
                 f"frame decoded to {type(envelope).__name__}, expected an "
@@ -158,7 +162,8 @@ class TcpTransport(Network):
         # possible", so a socket transit longer than the injected latency
         # delivers promptly instead of raising.
         self._kernel.schedule_at(envelope.delivered_at,
-                                 partial(self._deliver, target, envelope))
+                                 partial(self._deliver, target, envelope,
+                                         context))
 
     async def _send_loop(self, destination: str, queue: asyncio.Queue) -> None:
         """Write queued envelopes to this destination's connection, in order."""
@@ -181,8 +186,9 @@ class TcpTransport(Network):
                               writer.get_extra_info("sockname")))
         try:
             while True:
-                envelope = await queue.get()
-                writer.write(self._codec.encode_frame(envelope))
+                envelope, context = await queue.get()
+                writer.write(self._codec.encode_frame(envelope,
+                                                      trace=context))
                 await writer.drain()
         except asyncio.CancelledError:
             raise

@@ -13,7 +13,14 @@ Frame layout (big-endian)::
     0       2     magic       b"RB"
     2       1     version     WIRE_VERSION (currently 1)
     3       1     flags       bit 0: payload is pickled (escape hatch only)
+                              bit 1: a trace-context block precedes the
+                              canonical payload (FLAG_TRACE)
     4       4     length      payload byte count, <= the enforced max frame
+
+A ``FLAG_TRACE`` payload is ``>HQQ`` (trace-id byte length, span id, parent
+span id) + the utf-8 trace id, then the canonical bytes; the header length
+covers both.  Untraced frames never set the bit and are byte-identical to
+the pre-tracing format, which the golden vectors pin.
 
 The payload is exactly ``canonical_bytes(value)``, so the frame bytes a
 message crosses the wire as are the same bytes its digests and signatures
@@ -71,6 +78,7 @@ from ..common.errors import (
 # attribute, so wire framing and digest/signature memoisation stay one
 # mechanism with one set of invariants.
 from ..crypto.digest import _CANONICAL_CACHE, _class_template, canonical_bytes
+from ..obsv.trace import TraceContext
 
 #: first bytes of every frame.
 WIRE_MAGIC = b"RB"
@@ -79,7 +87,11 @@ WIRE_VERSION = 1
 #: flags bit: the payload is a pickle blob, not canonical bytes.  Only the
 #: explicit ``--unsafe-pickle`` escape-hatch codec ever sets or honours it.
 FLAG_PICKLE = 0x01
-_KNOWN_FLAGS = FLAG_PICKLE
+#: flags bit: a :class:`~repro.obsv.trace.TraceContext` block precedes the
+#: canonical payload (see :func:`encode_trace_context`).  Untraced frames
+#: never set it and stay byte-identical to the pre-tracing format.
+FLAG_TRACE = 0x02
+_KNOWN_FLAGS = FLAG_PICKLE | FLAG_TRACE
 
 #: frame header: magic, version, flags, payload length.
 HEADER = struct.Struct(">2sBBI")
@@ -459,6 +471,55 @@ class _Decoder:
 
 
 # ---------------------------------------------------------------------------
+# trace-context block
+# ---------------------------------------------------------------------------
+#: fixed head of the FLAG_TRACE block: trace-id byte length (u16), span id
+#: (u64), parent span id (u64); the utf-8 trace-id bytes follow.
+_TRACE_BLOCK = struct.Struct(">HQQ")
+_TRACE_BLOCK_SIZE = _TRACE_BLOCK.size
+
+
+def encode_trace_context(context: TraceContext) -> bytes:
+    """The ``FLAG_TRACE`` block prefixed to a traced frame's payload."""
+    trace_id = context.trace_id.encode("utf-8")
+    if len(trace_id) > 0xFFFF:
+        raise UnencodableWirePayload(
+            f"trace id is {len(trace_id)} bytes; the wire block caps it "
+            "at 65535")
+    try:
+        head = _TRACE_BLOCK.pack(len(trace_id), context.span_id,
+                                 context.parent_span_id)
+    except struct.error as exc:
+        raise UnencodableWirePayload(
+            f"trace context span ids must fit an unsigned 64-bit field: "
+            f"{exc}") from exc
+    return head + trace_id
+
+
+def decode_trace_context(payload: bytes) -> tuple[TraceContext, int]:
+    """Parse the trace block at the head of a traced payload.
+
+    Returns ``(context, consumed)`` where ``consumed`` is the block's byte
+    length; the canonical payload starts at that offset.
+    """
+    if len(payload) < _TRACE_BLOCK_SIZE:
+        raise MalformedWirePayload(
+            f"traced payload is {len(payload)} byte(s); the trace block "
+            f"head needs {_TRACE_BLOCK_SIZE}")
+    id_length, span_id, parent_span_id = _TRACE_BLOCK.unpack_from(payload)
+    end = _TRACE_BLOCK_SIZE + id_length
+    if len(payload) < end:
+        raise MalformedWirePayload(
+            f"traced payload ends inside its {id_length}-byte trace id")
+    try:
+        trace_id = payload[_TRACE_BLOCK_SIZE:end].decode("utf-8")
+    except UnicodeDecodeError:
+        raise MalformedWirePayload("invalid utf-8 in trace id") from None
+    return TraceContext(trace_id=trace_id, span_id=span_id,
+                        parent_span_id=parent_span_id), end
+
+
+# ---------------------------------------------------------------------------
 # frame-level API
 # ---------------------------------------------------------------------------
 def parse_header(header: bytes,
@@ -520,38 +581,63 @@ class WireCodec:
         self.max_frame_bytes = max_frame_bytes
 
     # -------------------------------------------------------------- encoding
-    def encode_frame(self, value: Any) -> bytes:
-        """One complete frame (header + canonical payload) for ``value``."""
+    def encode_frame(self, value: Any,
+                     trace: Optional[TraceContext] = None) -> bytes:
+        """One complete frame (header + canonical payload) for ``value``.
+
+        With ``trace`` set the frame carries :data:`FLAG_TRACE` and the
+        trace block precedes the payload; with ``trace=None`` the emitted
+        bytes are identical to the pre-tracing format, bit for bit.
+        """
         payload = encode_payload(value)
+        flags = 0
+        if trace is not None:
+            payload = encode_trace_context(trace) + payload
+            flags = FLAG_TRACE
         if len(payload) > self.max_frame_bytes:
             raise OversizedFrame(
                 f"{type(value).__name__} encodes to {len(payload)} bytes; "
                 f"the enforced maximum is {self.max_frame_bytes} bytes")
-        return HEADER.pack(WIRE_MAGIC, WIRE_VERSION, 0, len(payload)) + payload
+        return HEADER.pack(WIRE_MAGIC, WIRE_VERSION, flags,
+                           len(payload)) + payload
 
     # -------------------------------------------------------------- decoding
     def parse_header(self, header: bytes) -> tuple[int, int]:
         """Validate a header read off the stream; ``(flags, length)``."""
         return parse_header(header, self.max_frame_bytes)
 
-    def decode_payload(self, payload: bytes, flags: int = 0) -> Any:
-        """Decode a payload whose header carried ``flags``."""
+    def decode_payload_traced(self, payload: bytes, flags: int = 0
+                              ) -> tuple[Any, Optional[TraceContext]]:
+        """Decode a payload; returns ``(value, trace context or None)``."""
         if flags & FLAG_PICKLE:
             raise MalformedWirePayload(
                 "frame carries a pickled payload, which this codec refuses "
                 "to execute; the sender must use the binary wire format "
                 "(or both ends must opt into --unsafe-pickle)")
-        return decode_payload(payload, self.registry)
+        context = None
+        if flags & FLAG_TRACE:
+            context, consumed = decode_trace_context(payload)
+            payload = payload[consumed:]
+        return decode_payload(payload, self.registry), context
+
+    def decode_payload(self, payload: bytes, flags: int = 0) -> Any:
+        """Decode a payload whose header carried ``flags``."""
+        return self.decode_payload_traced(payload, flags)[0]
 
     def decode_frame(self, frame: bytes) -> Any:
         """Decode one complete frame produced by :meth:`encode_frame`."""
+        return self.decode_frame_traced(frame)[0]
+
+    def decode_frame_traced(self, frame: bytes
+                            ) -> tuple[Any, Optional[TraceContext]]:
+        """Decode one complete frame; returns ``(value, context or None)``."""
         flags, length = self.parse_header(frame)
         payload = frame[HEADER_SIZE:]
         if len(payload) != length:
             raise TruncatedFrame(
                 f"frame declares a {length}-byte payload but carries "
                 f"{len(payload)}")
-        return self.decode_payload(payload, flags)
+        return self.decode_payload_traced(payload, flags)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         return f"<WireCodec {self.format_name} v{WIRE_VERSION}>"

@@ -10,6 +10,12 @@ Three facilities, all off by default and free when disabled:
 - :mod:`~repro.obsv.watchdog` — an in-kernel stall detector for live runs
   that converts the anonymous wall-clock timeout into a typed
   :class:`~repro.common.errors.StallError` carrying a diagnostics bundle.
+- :mod:`~repro.obsv.spans` — per-request lifecycle spans reconstructed
+  from the causal trace, with a four-phase latency decomposition
+  (``repro trace analyze FILE``).
+- :mod:`~repro.obsv.metrics_export` — Prometheus text endpoint over the
+  live kernel's loop (``repro live --metrics-port``) and health-sample
+  JSONL time series.
 
 Enable any of them by passing an :class:`ObservabilityConfig` to a
 deployment (or ``DeploymentSpec(observe=...)``), or from the CLI via
@@ -18,7 +24,12 @@ deployment (or ``DeploymentSpec(observe=...)``), or from the CLI via
 
 from .health import (DeploymentHealth, HealthSampler, ObservabilityConfig,
                      ReplicaHealth)
-from .trace import DEFAULT_TRACE_CAPACITY, TraceEvent, Tracer
+from .metrics_export import (MetricsExporter, deployment_metrics_renderer,
+                             prometheus_text, write_health_jsonl)
+from .spans import (RequestSpan, SpanSummary, analyze_events, analyze_file,
+                    format_summary, reconstruct_spans, summarise_spans)
+from .trace import (DEFAULT_TRACE_CAPACITY, TraceContext, TraceEvent, Tracer,
+                    read_jsonl)
 from .watchdog import (StallWatchdog, deployment_health, diagnose_suspect,
                        snapshot_diagnostics, write_diagnostics)
 
@@ -26,13 +37,26 @@ __all__ = [
     "DEFAULT_TRACE_CAPACITY",
     "DeploymentHealth",
     "HealthSampler",
+    "MetricsExporter",
     "ObservabilityConfig",
     "ReplicaHealth",
+    "RequestSpan",
+    "SpanSummary",
     "StallWatchdog",
+    "TraceContext",
     "TraceEvent",
     "Tracer",
+    "analyze_events",
+    "analyze_file",
     "deployment_health",
+    "deployment_metrics_renderer",
     "diagnose_suspect",
+    "format_summary",
+    "prometheus_text",
+    "read_jsonl",
+    "reconstruct_spans",
     "snapshot_diagnostics",
+    "summarise_spans",
     "write_diagnostics",
+    "write_health_jsonl",
 ]

@@ -11,8 +11,9 @@ connection is still inspectable.
 
 :func:`snapshot_diagnostics` turns that instant into a JSON-serialisable
 bundle: kernel heap size, pending asyncio tasks, per-peer TCP connection
-state, every replica's :class:`~repro.obsv.health.ReplicaHealth`, and the
-outstanding work each client is blocked on.  :func:`diagnose_suspect` then
+state, every replica's :class:`~repro.obsv.health.ReplicaHealth`, the
+outstanding work each client is blocked on, and — when tracing is on — the
+tail of the trace ring (the causal event record leading up to the stall).  :func:`diagnose_suspect` then
 names the replica the evidence points at, and the deployment raises a typed
 :class:`~repro.common.errors.StallError` carrying the whole bundle instead
 of the old anonymous timeout.
@@ -203,6 +204,13 @@ def snapshot_diagnostics(deployment,
     tasks = _asyncio_tasks(kernel)
     if tasks is not None:
         bundle["asyncio_tasks"] = tasks
+    tracer = getattr(deployment, "tracer", None)
+    if tracer is not None:
+        # The newest slice of the trace ring: the causal record of what the
+        # deployment was doing in the moments before it wedged.
+        bundle["trace_tail"] = tracer.tail()
+        bundle["trace_counts"] = dict(sorted(tracer.counts.items()))
+        bundle["trace_dropped"] = tracer.dropped
     connections = []
     for network in _iter_networks(deployment):
         states = getattr(network, "connection_states", None)

@@ -349,8 +349,14 @@ def scenario_obsv_overhead(scale: PerfScale) -> list[dict]:
     (3) the end-of-run aggregated health columns themselves.  The *wall
     clock* side of the ≤5% overhead claim is asserted by
     ``benchmarks/test_obsv_overhead.py``, which times both paths.
+
+    With causal tracing the summary row additionally pins the span
+    reconstruction: how many request lifecycles the trace yields, what
+    fraction are complete (client send → reply quorum), and the simulated
+    four-phase latency decomposition — all pure functions of the simulated
+    run, so they ride the same determinism digests.
     """
-    from ..obsv import ObservabilityConfig
+    from ..obsv import ObservabilityConfig, analyze_events
     from ..runtime.deployment import Deployment
 
     config = build_config("flexi-bft", _OBSV_EXPERIMENT)
@@ -377,6 +383,7 @@ def scenario_obsv_overhead(scale: PerfScale) -> list[dict]:
         }
         for kind in sorted(tracer.counts):
             summary[f"count_{kind.replace('.', '_')}"] = tracer.counts[kind]
+        summary.update(analyze_events(tracer).as_row())
     finally:
         deployment.close()
     return [base_row, traced_row, summary]

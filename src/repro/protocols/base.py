@@ -340,34 +340,59 @@ class BaseReplica:
             return
         payload = envelope.payload
         cost = self.inbound_verification_cost(payload)
+        # The delivery hop set tracer.current to its recv span; capture it
+        # here so the deferred _process stays parented to this hop.
+        tracer = self._tracer
+        context = None
+        if tracer is not None:
+            context = tracer.current
         # partials, not lambdas, throughout the deferred-work paths: queued
         # jobs must survive a deepcopy of the deployment (warmed-snapshot
         # reuse in the recovery experiments) — deepcopy remaps a partial's
         # bound method and arguments, but returns closures uncopied.
         self.workers.submit(cost, partial(self._process, payload,
-                                          envelope.source))
+                                          envelope.source, cost, context))
 
-    def _process(self, payload: object, source: str) -> None:
+    def _process(self, payload: object, source: str, cost: Micros = 0.0,
+                 context=None) -> None:
         if not self.active:
             return
         self.stats.messages_processed += 1
+        tracer = self._tracer
+        previous = None
+        handler_context = None
+        if tracer is not None:
+            previous = tracer.current
+            if context is not None:
+                # The verification span carries the modelled crypto cost the
+                # worker charged before this handler ran; everything the
+                # handler records or sends parents to it.
+                handler_context = tracer.record_span(
+                    "msg.verified", node=self.name,
+                    detail=type(payload).__name__,
+                    seq=getattr(payload, "seq", -1), dur_us=cost,
+                    parent=context)
+            tracer.current = handler_context
         output = HandlerOutput()
         self._handler = output
         try:
             self.dispatch(payload, source)
         finally:
             self._handler = None
+            if tracer is not None:
+                tracer.current = previous
         tc_ops = self.trusted.take_pending_accesses() if self.trusted else 0
         durable_at = (self.store.take_pending_durable_at()
                       if self.store is not None else None)
         if output.cpu_us > 0.0:
             self.workers.submit(output.cpu_us,
-                                partial(self._flush, output, tc_ops, durable_at))
+                                partial(self._flush, output, tc_ops, durable_at,
+                                        handler_context))
         else:
-            self._flush(output, tc_ops, durable_at)
+            self._flush(output, tc_ops, durable_at, handler_context)
 
     def _flush(self, output: HandlerOutput, tc_ops: int,
-               durable_at: Optional[Micros] = None) -> None:
+               durable_at: Optional[Micros] = None, context=None) -> None:
         if not self.active:
             return  # a deferred flush from before a crash; the seat is dead
         departure = self.sim.now
@@ -377,9 +402,21 @@ class BaseReplica:
             # Messages reflecting a decision do not leave the replica before
             # the decision is durable (WAL fsync / checkpoint write).
             departure = max(departure, durable_at)
-        for destination, message in output.outbound:
-            self.network.send(self.name, destination, message,
-                              earliest_departure=departure)
+        tracer = self._tracer
+        previous = None
+        if tracer is not None:
+            # Restore the handler's span around the (possibly deferred)
+            # sends, so each outbound msg.send parents to the message that
+            # caused it rather than starting a causal orphan.
+            previous = tracer.current
+            tracer.current = context
+        try:
+            for destination, message in output.outbound:
+                self.network.send(self.name, destination, message,
+                                  earliest_departure=departure)
+        finally:
+            if tracer is not None:
+                tracer.current = previous
 
     # -------------------------------------------------------------- dispatch
     def dispatch(self, payload: object, source: str) -> None:
@@ -491,7 +528,11 @@ class BaseReplica:
             tc_ops = self.trusted.take_pending_accesses() if self.trusted else 0
             durable_at = (self.store.take_pending_durable_at()
                           if self.store is not None else None)
-            self._flush_with_cost(output, tc_ops, durable_at)
+            tracer = self._tracer
+            context = None
+            if tracer is not None:
+                context = tracer.current
+            self._flush_with_cost(output, tc_ops, durable_at, context)
             return
         self._queue(destination, message, sign, self._handler)
 
@@ -516,12 +557,14 @@ class BaseReplica:
         output.outbound.append((destination, message))
 
     def _flush_with_cost(self, output: HandlerOutput, tc_ops: int,
-                         durable_at: Optional[Micros] = None) -> None:
+                         durable_at: Optional[Micros] = None,
+                         context=None) -> None:
         if output.cpu_us > 0.0:
             self.workers.submit(output.cpu_us,
-                                partial(self._flush, output, tc_ops, durable_at))
+                                partial(self._flush, output, tc_ops, durable_at,
+                                        context))
         else:
-            self._flush(output, tc_ops, durable_at)
+            self._flush(output, tc_ops, durable_at, context)
 
     def signed(self, message):
         """Return a copy of ``message`` carrying this replica's signature."""
@@ -648,6 +691,13 @@ class BaseReplica:
         self.proposed_requests.update(r.request_id for r in requests)
         batch = RequestBatch(requests=requests)
         self.stats.batches_proposed += 1
+        tracer = self._tracer
+        if tracer is not None:
+            # The digest prefix is the join key between this sequencing
+            # event and the batch.execute events downstream — span
+            # reconstruction chains request id -> seq -> digest through it.
+            tracer.record("batch.propose", node=self.name,
+                          detail=batch.digest().hex()[:12], view=self.view)
         self.propose_batch(batch)
 
     def propose_batch(self, batch: RequestBatch) -> None:
@@ -737,9 +787,16 @@ class BaseReplica:
                       + len(responses) * (self.costs.ds_sign_us
                                           + self.costs.mac_generate_us))
         release_seq = seq if self._sequential_speculative_primary() else None
+        tracer = self._tracer
+        reply_context = None
+        if tracer is not None:
+            tracer.record("batch.execute", node=self.name, seq=seq, view=view,
+                          detail=batch.digest().hex()[:12],
+                          dur_us=self.costs.execute_op_us * op_count)
+            reply_context = tracer.current
         self.workers.submit(reply_cost,
                             partial(self._send_replies, responses, release_seq,
-                                    durable_at))
+                                    durable_at, reply_context))
         self.stats.batches_executed += 1
         self.safety.record_execution(self.replica_id, seq, view, batch.digest(),
                                      self.sim.now)
@@ -774,20 +831,36 @@ class BaseReplica:
         latest = self.latest_reply.get(request.client)
         if latest is None or latest.request_id.number <= request.request_id.number:
             self.latest_reply[request.client] = response
+        tracer = self._tracer
+        if tracer is not None:
+            # Keyed by the request-id string: the same key the client's
+            # req.submit/req.complete events carry, closing the lifecycle.
+            tracer.record("req.reply", node=self.name, seq=seq, view=view,
+                          detail=str(request.request_id))
         return response
 
     def _send_replies(self, responses: list[tuple[str, Response]],
                       release_seq: Optional[SeqNum] = None,
-                      durable_at: Optional[Micros] = None) -> None:
-        for client, response in responses:
-            if self.recovering:
-                # Replayed history: the replies were already delivered by the
-                # live replicas; the cache entries are kept for resends.
-                break
-            if self.outbound_filter is not None and not self.outbound_filter(client, response):
-                continue
-            self.network.send(self.name, client, response,
-                              earliest_departure=durable_at)
+                      durable_at: Optional[Micros] = None,
+                      context=None) -> None:
+        tracer = self._tracer
+        previous = None
+        if tracer is not None:
+            previous = tracer.current
+            tracer.current = context
+        try:
+            for client, response in responses:
+                if self.recovering:
+                    # Replayed history: the replies were already delivered by
+                    # the live replicas; the cache entries stay for resends.
+                    break
+                if self.outbound_filter is not None and not self.outbound_filter(client, response):
+                    continue
+                self.network.send(self.name, client, response,
+                                  earliest_departure=durable_at)
+        finally:
+            if tracer is not None:
+                tracer.current = previous
         if release_seq is not None:
             # Sequential speculative protocols (oFlexi-ZZ, MinZZ): the next
             # consensus invocation may only start once the previous one has

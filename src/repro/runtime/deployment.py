@@ -206,7 +206,8 @@ class Deployment:
                 workload_config=config.workload,
                 replica_names=self.replica_names, f=self.f,
                 reply_policy=self.spec.reply_policy, sink=self.metrics,
-                request_timeout_us=protocol_config.request_timeout_us)
+                request_timeout_us=protocol_config.request_timeout_us,
+                tracer=self.tracer)
             self.clients.append(client)
             self.network.register(client)
 

@@ -31,7 +31,9 @@ class UnsafePickleWireCodec(WireCodec):
 
     format_name = "pickle"
 
-    def encode_frame(self, value: Any) -> bytes:
+    def encode_frame(self, value: Any, trace: Any = None) -> bytes:
+        # Legacy frames never carry a trace block: the context is dropped
+        # here rather than grafted onto a format that dies next release.
         try:
             payload = pickle.dumps(value)
         except Exception as exc:
@@ -45,9 +47,9 @@ class UnsafePickleWireCodec(WireCodec):
         return HEADER.pack(WIRE_MAGIC, WIRE_VERSION, FLAG_PICKLE,
                            len(payload)) + payload
 
-    def decode_payload(self, payload: bytes, flags: int = 0) -> Any:
+    def decode_payload_traced(self, payload: bytes, flags: int = 0):
         # Accept both pickled and canonical frames, so a mixed deployment
         # mid-migration still interoperates in one direction.
         if flags & FLAG_PICKLE:
-            return pickle.loads(payload)
-        return super().decode_payload(payload, flags)
+            return pickle.loads(payload), None
+        return super().decode_payload_traced(payload, flags)

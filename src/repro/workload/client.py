@@ -79,10 +79,12 @@ class Client:
                  replica_names: list[str], f: int,
                  reply_policy: ReplyPolicy, sink: Optional[CompletionSink] = None,
                  request_timeout_us: Micros = 250_000.0,
-                 on_complete: Optional[Callable[[], None]] = None) -> None:
+                 on_complete: Optional[Callable[[], None]] = None,
+                 tracer=None) -> None:
         self.name = name
         self.sim = sim
         self.network = network
+        self._tracer = tracer
         self.key = keystore.register(name)
         self.workload = workload
         self.workload_config = workload_config
@@ -145,7 +147,21 @@ class Client:
         if self.sink is not None:
             self.sink.record_submission(self.name, request_id, self.sim.now,
                                         len(operations))
-        self.network.send(self.name, self._primary_name(), request)
+        # Every request starts a fresh trace rooted at its request id; the
+        # send below (and hence every downstream consensus hop) parents to
+        # this req.submit span.
+        tracer = self._tracer
+        previous = None
+        if tracer is not None:
+            previous = tracer.current
+            tracer.current = tracer.record_span(
+                "req.submit", node=self.name, detail=str(request_id),
+                trace_id=str(request_id))
+        try:
+            self.network.send(self.name, self._primary_name(), request)
+        finally:
+            if tracer is not None:
+                tracer.current = previous
         self._timer.restart(self.request_timeout_us)
         return request_id
 
@@ -185,6 +201,10 @@ class Client:
         self._pending = None
         self._timer.cancel()
         self.stats.completed += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("req.complete", node=self.name,
+                          detail=str(pending.request.request_id))
         if self.sink is not None:
             self.sink.record_completion(
                 self.name, pending.request.request_id, pending.submitted_at,

@@ -80,7 +80,8 @@ class ShardedClient:
                 replica_names=group.replica_names, f=group.f,
                 reply_policy=group.spec.reply_policy, sink=sink,
                 request_timeout_us=group.protocol_config.request_timeout_us,
-                on_complete=partial(self._on_lane_complete, shard))
+                on_complete=partial(self._on_lane_complete, shard),
+                tracer=group.tracer)
             group.network.register(lane)
             self.lanes.append(lane)
 

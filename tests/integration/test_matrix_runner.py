@@ -84,6 +84,42 @@ def test_payload_schema_and_load_results(tmp_path, tiny_cells):
         {c.content_hash for c in tiny_cells}
 
 
+def test_traced_cell_folds_span_summary_into_the_payload_only(tmp_path,
+                                                              tiny_cells):
+    import dataclasses
+
+    from repro.matrix import Cell, collate_payloads
+    from repro.obsv import ObservabilityConfig
+
+    plain_cell = tiny_cells[0]
+    traced_cell = Cell(
+        spec=dataclasses.replace(plain_cell.spec,
+                                 observe=ObservabilityConfig(trace=True)),
+        axes=plain_cell.axes, label=plain_cell.label)
+    # Observability is excluded from the content hash: a traced cell
+    # resumes the untraced cell's persisted result and vice versa.
+    assert traced_cell.content_hash == plain_cell.content_hash
+
+    runner = MatrixRunner(results_dir=None)
+    (traced,) = runner.run([traced_cell]).outcomes
+    (plain,) = runner.run([plain_cell]).outcomes
+    # The span aggregates land in the payload, never the row: the traced
+    # row (and its determinism digest) is byte-identical to the untraced
+    # one.
+    assert "span_summary" not in plain.payload
+    summary = traced.payload["span_summary"]
+    assert summary["span_requests"] > 0
+    assert summary["span_total_p99_us"] >= summary["span_total_p50_us"] >= 0
+    assert all(not name.startswith("span_") for name in traced.row)
+    assert traced.row == plain.row
+    assert traced.payload["row_digest"] == plain.payload["row_digest"]
+
+    # Collation merges the payload-only columns back into the curve points.
+    (series,) = collate_payloads([traced.payload], axis="clients")
+    (point,) = series.points
+    assert point.columns["span_requests"] == summary["span_requests"]
+
+
 def test_fault_cell_runs_its_fixed_horizon(tmp_path):
     from repro.matrix import FaultPlan
 

@@ -84,6 +84,33 @@ class TestStalledLiveRun:
                        if c.get("outstanding")]
         assert outstanding
 
+    def test_traced_stall_flushes_the_trace_ring_into_the_bundle(self):
+        observe = ObservabilityConfig(trace=True, stall_after_us=_STALL_US)
+        deployment = build_live_deployment(observe)
+        try:
+            deployment.crash_replica(0)
+            deployment.crash_replica(1)
+            with pytest.raises(StallError) as excinfo:
+                deployment.run_until_target(max_sim_time_us=_CAP_US)
+        finally:
+            deployment.close()
+        bundle = excinfo.value.diagnostics
+        tail = bundle["trace_tail"]
+        assert tail, "traced stall bundle carries no trace events"
+        # The tail is the newest ring slice: dict-shaped events, newest last,
+        # whose kinds agree with the exact per-kind counters.
+        assert all(event["kind"] for event in tail)
+        times = [event["time_us"] for event in tail]
+        assert times == sorted(times)
+        assert set(event["kind"] for event in tail) <= set(
+            bundle["trace_counts"])
+        assert bundle["trace_counts"]["replica.crash"] == 2
+        assert bundle["trace_dropped"] >= 0
+
+    def test_untraced_stall_bundle_has_no_trace_tail(self):
+        error, _ = self.run_stalled()
+        assert "trace_tail" not in error.diagnostics
+
     def test_bundle_round_trips_through_write_diagnostics(self, tmp_path):
         error, _ = self.run_stalled()
         path = tmp_path / "diagnostics" / "stall.json"

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import json
 
-from repro.obsv import TraceEvent, Tracer
+from repro.obsv import TraceContext, TraceEvent, Tracer
+from repro.obsv.trace import read_jsonl
 from repro.sim.kernel import Simulator
 
 
@@ -32,10 +33,63 @@ class TestTracerRecording:
 
     def test_as_dict_round_trips_every_field(self):
         event = TraceEvent(time_us=2.0, kind="view.change", node="replica-1",
-                           detail="x", seq=7, view=3)
+                           detail="x", seq=7, view=3, trace_id="c/1",
+                           span_id=4, parent_span_id=2, dur_us=12.5)
         assert event.as_dict() == {"time_us": 2.0, "kind": "view.change",
                                    "node": "replica-1", "detail": "x",
-                                   "seq": 7, "view": 3}
+                                   "seq": 7, "view": 3, "trace_id": "c/1",
+                                   "span_id": 4, "parent_span_id": 2,
+                                   "dur_us": 12.5}
+
+
+class TestSpans:
+    def test_record_span_allocates_monotonic_span_ids(self):
+        _, tracer = make_tracer()
+        first = tracer.record_span("msg.send", node="a")
+        second = tracer.record_span("msg.recv", node="b", parent=first)
+        assert first.span_id == 1
+        assert second.span_id == 2
+        assert second.trace_id == first.trace_id
+        assert second.parent_span_id == first.span_id
+
+    def test_explicit_trace_id_forces_a_new_root(self):
+        # A client starting a request must not chain to whatever context
+        # happens to be in scope (the previous request's delivery).
+        _, tracer = make_tracer()
+        tracer.current = tracer.record_span("msg.recv", node="client-0")
+        root = tracer.record_span("req.submit", node="client-0",
+                                  trace_id="client-0/2")
+        assert root.trace_id == "client-0/2"
+        assert root.parent_span_id == 0
+
+    def test_record_attaches_to_current_context(self):
+        _, tracer = make_tracer()
+        context = tracer.record_span("msg.recv", node="replica-1")
+        tracer.current = context
+        tracer.record("batch.propose", node="replica-1", detail="abc")
+        tracer.current = None
+        tracer.record("kernel.stop")
+        plain = tracer.events(kind="batch.propose")[0]
+        assert plain.trace_id == context.trace_id
+        assert plain.parent_span_id == context.span_id
+        assert plain.span_id == -1
+        detached = tracer.events(kind="kernel.stop")[0]
+        assert detached.trace_id == "" and detached.parent_span_id == -1
+
+    def test_span_without_parent_starts_synthetic_root(self):
+        _, tracer = make_tracer()
+        context = tracer.record_span("msg.send", node="a")
+        assert context.trace_id == f"t{context.span_id}"
+        assert context.parent_span_id == 0
+
+    def test_tail_returns_newest_events_as_dicts(self):
+        _, tracer = make_tracer(capacity=8)
+        for i in range(6):
+            tracer.record("msg.send", seq=i)
+        tail = tracer.tail(count=3)
+        assert [entry["seq"] for entry in tail] == [3, 4, 5]
+        assert tracer.tail(count=0) == []
+        assert len(tracer.tail(count=100)) == 6
 
 
 class TestRingBuffer:
@@ -63,6 +117,22 @@ class TestRingBuffer:
         fresh.record("msg.recv")
         assert fresh.dropped == 0
 
+    def test_exactly_at_capacity_evicts_nothing(self):
+        _, tracer = make_tracer(capacity=5)
+        for i in range(5):
+            tracer.record("msg.send", seq=i)
+        assert len(tracer) == 5
+        assert tracer.dropped == 0
+        assert [e.seq for e in tracer] == [0, 1, 2, 3, 4]
+
+    def test_one_past_capacity_evicts_exactly_the_oldest(self):
+        _, tracer = make_tracer(capacity=5)
+        for i in range(6):
+            tracer.record("msg.send", seq=i)
+        assert len(tracer) == 5
+        assert tracer.dropped == 1
+        assert [e.seq for e in tracer] == [1, 2, 3, 4, 5]
+
 
 class TestFiltering:
     def test_events_filters_by_kind_and_node(self):
@@ -89,3 +159,28 @@ class TestJsonl:
         assert first["kind"] == "tcp.connect"
         assert first["detail"] == "127.0.0.1:9"
         assert second["seq"] == 20
+
+    def test_read_jsonl_round_trips_span_and_context_fields(self, tmp_path):
+        _, tracer = make_tracer(capacity=16)
+        root = tracer.record_span("req.submit", node="client-0",
+                                  detail="client-0/1", trace_id="client-0/1")
+        tracer.record_span("msg.send", node="client-0", parent=root)
+        tracer.current = root
+        tracer.record("msg.verified", node="replica-0", dur_us=40.0)
+        tracer.current = None
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(path) == 3
+        events = read_jsonl(path)
+        assert events == list(tracer)
+
+    def test_read_jsonl_tolerates_blank_lines_and_unknown_keys(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        line = json.dumps({"time_us": 1.0, "kind": "msg.send",
+                           "trace_id": "t1", "span_id": 1,
+                           "parent_span_id": 0, "dur_us": 2.0,
+                           "future_field": "ignored"})
+        path.write_text(line + "\n\n")
+        (event,) = read_jsonl(path)
+        assert event.kind == "msg.send"
+        assert event.trace_id == "t1" and event.span_id == 1
+        assert event.dur_us == 2.0

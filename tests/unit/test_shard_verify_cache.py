@@ -87,6 +87,34 @@ class TestEightShardHitRates:
         assert plain_result.as_row() == split_result.as_row()
 
 
+class TestHighShardCountHitRates:
+    """Re-measurement at 16/32 shards (ROADMAP follow-up, 2026-08).
+
+    Both counts are above ``SPLIT_VERIFY_CACHE_SHARDS``, so every group owns
+    a private LRU domain — and still no contention materializes: per-shard
+    hit rates are *identical* to the single-shard rate, and the largest
+    per-scope domain stays two orders of magnitude under the 8192-entry
+    bound.  Working sets per group shrink as shards multiply (each group
+    sees fewer signers), so saturation moves further away with scale, not
+    closer.
+    """
+
+    @pytest.mark.parametrize("num_shards", [16, 32])
+    def test_no_contention_at_high_shard_counts(self, num_shards):
+        _, single = _run(1)
+        deployment, result = _run(num_shards)
+        assert deployment.keystore.verify_cache_split
+        single_rate = single.metrics.shard_verify_hit_rates[0]
+        rates = result.metrics.shard_verify_hit_rates
+        assert len(rates) == num_shards
+        for rate in rates:
+            assert rate == pytest.approx(single_rate, abs=0.05)
+        sizes = deployment.keystore.verify_cache_sizes()
+        # Private domains stay tiny: no group is anywhere near eviction.
+        assert max(sizes.values()) < 8192 // 64
+        assert result.consensus_safe and result.rsm_safe
+
+
 class TestKeyStoreSplitSemantics:
     def _store(self):
         store = KeyStore(seed=1, verify_cache_size=4)

@@ -1,12 +1,19 @@
 """Golden-vector tests pinning the wire format across refactors.
 
 Every registered wire class has one committed frame under
-``tests/golden/wire/<ClassName>.bin``, produced by :func:`golden_instances`.
-The tests assert three things:
+``tests/golden/wire/<ClassName>.bin``, produced by :func:`golden_instances`,
+plus one *traced* frame (``<ClassName>.traced.bin``) carrying the same
+payload behind ``FLAG_TRACE`` with a deterministic trace context.  The
+tests assert:
 
 * encoding the golden instance reproduces the committed bytes exactly,
-* decoding the committed bytes reproduces the golden instance exactly,
-* every class in the registry has a vector (so adding a message class
+  with and without a trace context,
+* decoding the committed bytes reproduces the golden instance (and, for
+  traced frames, the exact trace context),
+* a traced frame is its untraced twin plus exactly the flag bit and the
+  trace block — so untraced frames stay bit-identical to the pre-tracing
+  format,
+* every class in the registry has both vectors (so adding a message class
   without pinning its encoding fails CI).
 
 If a vector ever changes, the wire format changed: bump
@@ -46,6 +53,7 @@ from repro.protocols.messages import (
     Response,
     ViewChange,
 )
+from repro.obsv.trace import TraceContext
 from repro.trusted.attestation import Attestation
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden" / "wire"
@@ -53,6 +61,12 @@ GOLDEN_DIR = pathlib.Path(__file__).resolve().parents[1] / "golden" / "wire"
 
 def _sig(signer: str) -> Signature:
     return Signature(signer=signer, value=bytes(range(32)))
+
+
+def golden_trace(name: str) -> TraceContext:
+    """The deterministic trace context pinned for one class's traced frame."""
+    return TraceContext(trace_id=f"golden-trace/{name}", span_id=7,
+                        parent_span_id=3)
 
 
 def golden_instances() -> dict[str, object]:
@@ -145,6 +159,11 @@ def test_every_registered_class_has_a_golden_vector():
     assert not missing, (
         f"no committed golden vector for {missing}; run "
         "'PYTHONPATH=src python tests/unit/test_wire_golden.py --regen'")
+    untraced = [name for name in registered
+                if not (GOLDEN_DIR / f"{name}.traced.bin").is_file()]
+    assert not untraced, (
+        f"no committed FLAG_TRACE golden vector for {untraced}; run "
+        "'PYTHONPATH=src python tests/unit/test_wire_golden.py --regen'")
 
 
 @pytest.mark.parametrize("name", sorted(golden_instances()))
@@ -163,6 +182,30 @@ def test_golden_vector_round_trip(name):
     assert canonical_bytes(decoded) == canonical_bytes(instance)
 
 
+@pytest.mark.parametrize("name", sorted(golden_instances()))
+def test_traced_golden_vector_round_trip(name):
+    from repro.net.wire import FLAG_TRACE, HEADER_SIZE, encode_trace_context
+
+    codec = WireCodec()
+    instance = golden_instances()[name]
+    context = golden_trace(name)
+    committed = (GOLDEN_DIR / f"{name}.traced.bin").read_bytes()
+    assert codec.encode_frame(instance, trace=context) == committed, (
+        f"traced encoding of {name} no longer matches its golden vector — "
+        "the FLAG_TRACE wire format changed; bump WIRE_VERSION and "
+        "regenerate deliberately")
+    decoded, decoded_context = codec.decode_frame_traced(committed)
+    assert decoded == instance
+    assert type(decoded) is type(instance)
+    assert decoded_context == context
+    # The traced frame is the untraced frame plus exactly the flag bit and
+    # the trace block: strip both and the pre-tracing bytes reappear.
+    untraced = (GOLDEN_DIR / f"{name}.bin").read_bytes()
+    assert committed[3] == untraced[3] | FLAG_TRACE
+    block = encode_trace_context(context)
+    assert committed[HEADER_SIZE + len(block):] == untraced[HEADER_SIZE:]
+
+
 def _regen() -> None:
     ensure_default_registrations()
     codec = WireCodec()
@@ -171,6 +214,10 @@ def _regen() -> None:
         path = GOLDEN_DIR / f"{name}.bin"
         path.write_bytes(codec.encode_frame(instance))
         print(f"wrote {path}")
+        traced_path = GOLDEN_DIR / f"{name}.traced.bin"
+        traced_path.write_bytes(
+            codec.encode_frame(instance, trace=golden_trace(name)))
+        print(f"wrote {traced_path}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Fail when committed perf baselines change outside the declared refresh.
+
+Simulated-row digests are the determinism contract of the perf gate: a
+baseline refresh is only legitimate when a PR *names* the scenarios whose
+rows it deliberately changed.  This check diffs ``benchmarks/baselines/``
+against a base ref and asserts every added, removed or modified
+``BENCH_<scenario>[.<scale>].json`` belongs to a scenario listed in
+``benchmarks/baselines/REFRESH.txt`` — the allowlist each refreshing PR
+updates alongside the baselines themselves.  A drive-by digest change to an
+unnamed scenario (the classic "refresh everything until CI is green") fails
+here even though ``--update-baseline`` happily wrote the file.
+
+Usage::
+
+    python benchmarks/check_baseline_refresh.py [--base origin/main]
+
+Exit status 0 when the refresh is confined (or there is no refresh at all),
+1 otherwise.  Run from anywhere inside the repository.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+BASELINE_DIR = "benchmarks/baselines"
+ALLOWLIST = "REFRESH.txt"
+_BENCH_RE = re.compile(r"^BENCH_(?P<scenario>.+?)(?:\.(?P<scale>[a-z]+))?\.json$")
+
+
+def repo_root() -> Path:
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True, check=True)
+    return Path(out.stdout.strip())
+
+
+def changed_baselines(root: Path, base: str) -> list[str]:
+    """Names of baseline files that differ from the merge base with ``base``.
+
+    Diffs the *working tree* (not just HEAD) against the merge base, so the
+    check gives the same answer locally before the refresh is committed as
+    it does in CI afterwards.
+    """
+    merge_base = subprocess.run(
+        ["git", "merge-base", base, "HEAD"],
+        capture_output=True, text=True, cwd=root)
+    anchor = merge_base.stdout.strip() if merge_base.returncode == 0 else base
+    result = subprocess.run(
+        ["git", "diff", "--name-only", anchor, "--", BASELINE_DIR],
+        capture_output=True, text=True, cwd=root, check=True)
+    return [Path(line).name for line in result.stdout.splitlines() if line]
+
+
+def allowed_scenarios(root: Path) -> set[str]:
+    path = root / BASELINE_DIR / ALLOWLIST
+    if not path.exists():
+        return set()
+    names: set[str] = set()
+    for line in path.read_text().splitlines():
+        line = line.split("#", 1)[0].strip()
+        if line:
+            names.add(line)
+    return names
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base", default="origin/main",
+                        help="ref the baselines are diffed against "
+                             "(default: origin/main)")
+    args = parser.parse_args(argv)
+
+    root = repo_root()
+    changed = changed_baselines(root, args.base)
+    allowed = allowed_scenarios(root)
+
+    offenders: list[str] = []
+    for name in changed:
+        if name == ALLOWLIST:
+            continue
+        match = _BENCH_RE.match(name)
+        if match is None:
+            offenders.append(f"{name} (not a BENCH_<scenario>.json file)")
+        elif match.group("scenario") not in allowed:
+            offenders.append(f"{name} (scenario '{match.group('scenario')}' "
+                             f"not named in {BASELINE_DIR}/{ALLOWLIST})")
+
+    if offenders:
+        print("baseline refresh NOT confined to the declared scenarios:")
+        for offender in offenders:
+            print(f"  - {offender}")
+        print(f"declared in {BASELINE_DIR}/{ALLOWLIST}: "
+              f"{sorted(allowed) or '(none)'}")
+        return 1
+
+    if changed:
+        print(f"baseline refresh confined to declared scenarios: "
+              f"{sorted(allowed)}")
+    else:
+        print("no baseline changes against", args.base)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

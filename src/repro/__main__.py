@@ -57,16 +57,24 @@ def _backend_arg(name: str) -> str:
         raise argparse.ArgumentTypeError(str(error)) from None
 
 
-def _deployment_parent() -> argparse.ArgumentParser:
-    """Shared deployment-shape flags of ``live``, ``diag`` and ``matrix``."""
+def _deployment_parent(default_backend: str = "live") -> argparse.ArgumentParser:
+    """Shared deployment-shape flags of ``live``, ``diag`` and ``matrix``.
+
+    A fresh parser per caller group: argparse ``set_defaults`` on a subparser
+    mutates the *shared* parent actions, so subcommands that want a different
+    ``--backend`` default (``openloop`` runs the simulator) must get their own
+    parent instance instead.
+    """
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument("--protocol", default="flexi-bft", type=_protocol_arg,
                         help="protocol to deploy (default: flexi-bft; dashes "
                              "optional, 'flexibft' works)")
-    parent.add_argument("--backend", default="live", type=_backend_arg,
-                        help="execution backend: 'live'/'asyncio' (in-process "
-                             "queues, default) or 'live-tcp'/'tcp' (versioned "
-                             "binary frames over localhost sockets)")
+    parent.add_argument("--backend", default=default_backend, type=_backend_arg,
+                        help="execution backend: 'sim' (the deterministic "
+                             "simulator), 'live'/'asyncio' (in-process "
+                             "queues) or 'live-tcp'/'tcp' (versioned "
+                             f"binary frames over localhost sockets); "
+                             f"default: {default_backend}")
     parent.add_argument("--sharded", action="store_true",
                         help="run a sharded deployment (multiple consensus "
                              "groups driven by cross-shard clients)")
@@ -147,14 +155,50 @@ def _build_parser() -> argparse.ArgumentParser:
                            "document with the result row, health aggregate "
                            "and per-shard verify-cache report")
 
+    openloop = subparsers.add_parser(
+        "openloop", parents=[_deployment_parent(default_backend="sim")],
+        help="drive a deployment with the open-loop arrival engine "
+             "(million-user Zipf population, Poisson or bursty arrivals, "
+             "bounded in-flight lanes) and print the overload row")
+    openloop.add_argument("--rate", type=float, default=4_000.0,
+                          help="mean offered load in tx/s (default: 4000)")
+    openloop.add_argument("--users", type=int, default=1_000_000,
+                          help="logical user population behind the Zipf "
+                               "popularity draw (default: 1,000,000)")
+    openloop.add_argument("--process", choices=("poisson", "bursty"),
+                          default="poisson",
+                          help="arrival process (default: poisson)")
+    openloop.add_argument("--burst-multiplier", type=float, default=4.0,
+                          help="on-state rate multiplier of the bursty "
+                               "process (default: 4.0; mean rate preserved)")
+    openloop.add_argument("--theta", type=float, default=0.99,
+                          help="Zipf skew over users, in [0,1) (default: 0.99)")
+    openloop.add_argument("--max-in-flight", type=int, default=32,
+                          help="request lanes / admission limit (default: 32)")
+    openloop.add_argument("--deadline-ms", type=float, default=None,
+                          help="per-request deadline in ms; unanswered "
+                               "requests are abandoned and the lane freed "
+                               "(default: no deadline)")
+    openloop.add_argument("--duration", type=float, default=0.5,
+                          help="run length in (kernel) seconds (default: 0.5)")
+    openloop.add_argument("--segments", default=None, metavar="DUR:MULT,...",
+                          help="piecewise rate ramp, e.g. "
+                               "'0.2:0.5,0.2:2.0,0.2:1.0' (overrides "
+                               "--duration)")
+    openloop.add_argument("--report", choices=("table", "json"),
+                          default="table",
+                          help="print the rows as a table (default) or JSON")
+
     perf = subparsers.add_parser(
         "perf", help="run performance scenarios, write BENCH_*.json, "
                      "optionally gate against committed baselines")
     perf.add_argument("--scenarios", nargs="+", metavar="NAME",
                       default=["smoke"],
                       help="scenario names (fig1, recovery, sharding_scaleout, "
-                           "live_smoke, live_fig1, live_recovery, obsv_overhead, "
-                           "kernel, network, crypto) and/or suite names "
+                           "openloop_overload, openloop_hotspot, "
+                           "openloop_diurnal, live_smoke, live_fig1, "
+                           "live_recovery, obsv_overhead, kernel, network, "
+                           "crypto) and/or suite names "
                            "(smoke, medium, large); default: smoke")
     perf.add_argument("--scale", default=None,
                       help="run every selected scenario (and suite) at this "
@@ -304,6 +348,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
     if args.command == "live":
         return run_live(args)
+    if args.command == "openloop":
+        return run_openloop(args)
     if args.command == "matrix":
         return run_matrix(args, parser)
     if args.command == "perf":
@@ -721,6 +767,65 @@ def _resolve_perf_selection(names: list[str],
                 f"unknown scale {scale_name!r}; scales: "
                 f"{', '.join(sorted(PERF_SCALES))}")
     return selection
+
+
+def _parse_segments(text: Optional[str]) -> tuple:
+    """Parse ``DUR:MULT,DUR:MULT,...`` into open-loop rate segments."""
+    if not text:
+        return ()
+    segments = []
+    for part in text.split(","):
+        try:
+            duration, multiplier = part.split(":")
+            segments.append((float(duration), float(multiplier)))
+        except ValueError:
+            raise SystemExit(
+                f"--segments: expected DUR:MULT pairs, got {part!r}")
+    return tuple(segments)
+
+
+def run_openloop(args) -> int:
+    """Run one open-loop experiment and print its overload row."""
+    import json
+
+    from .runtime.experiments import build_config
+    from .runtime.spec import DeploymentSpec
+    from .workload.openloop import OpenLoopConfig, open_loop_row, run_open_loop
+
+    open_loop = OpenLoopConfig(
+        num_users=args.users,
+        arrival_rate_tx_s=args.rate,
+        process=args.process,
+        burst_multiplier=args.burst_multiplier,
+        user_theta=args.theta,
+        max_in_flight=args.max_in_flight,
+        deadline_us=(None if args.deadline_ms is None
+                     else args.deadline_ms * 1_000.0),
+        duration_s=args.duration,
+        segments=_parse_segments(args.segments))
+    config = build_config(args.protocol, SCALES[args.scale],
+                          num_clients=args.max_in_flight)
+    sharded = args.sharded
+    spec = DeploymentSpec(config, backend=args.backend,
+                          num_shards=args.shards if sharded else None,
+                          num_clients=args.max_in_flight if sharded else None,
+                          open_loop=open_loop)
+    deployment = spec.build()
+    try:
+        engine, result = run_open_loop(deployment, open_loop)
+    finally:
+        deployment.close()
+    row = {"protocol": args.protocol}
+    row.update(open_loop_row(engine, result))
+    rows = list(engine.stats.segment_rows) + [row] \
+        if engine.stats.segment_rows and open_loop.segments else [row]
+    if args.report == "json":
+        print(json.dumps(rows, indent=2, sort_keys=True, default=str))
+    else:
+        title = (f"open loop: {args.protocol} @ {args.rate:.0f} tx/s "
+                 f"({args.process}, {args.users:,} users)")
+        print_rows(title, rows)
+    return 0
 
 
 def run_perf(args) -> int:

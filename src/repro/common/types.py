@@ -12,6 +12,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..crypto.digest import canonical_cacheable
+
 # A replica is identified by a small non-negative integer, exactly like the
 # paper's "replica with identifier i" used for round-robin primary rotation.
 ReplicaId = int
@@ -81,20 +83,30 @@ class ConsensusMode(enum.Enum):
     PARALLEL = "parallel"
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class RequestId:
     """Globally unique identifier of a client request.
 
     Clients number their own requests; the pair (client, client-local number)
     uniquely identifies a transaction across the whole deployment and is what
-    replicas use for reply deduplication.
+    replicas use for reply deduplication.  Canonically cacheable: the same
+    instance is encoded inside every message that references the request
+    (request, pre-prepare batch, n replica responses), so the encode-once
+    cache pays for itself many times over per transaction.
     """
 
     client: ClientId
     number: int
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.client}#{self.number}"
+    def __str__(self) -> str:
+        # Memoised like the canonical encoding: ledgers and tracers stringify
+        # the same (shared) id once per replica that executes the request.
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            cached = f"{self.client}#{self.number}"
+            object.__setattr__(self, "_str", cached)
+        return cached
 
 
 def quorum_2f_plus_1(f: int) -> int:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import fields, is_dataclass
+from operator import attrgetter
 from typing import Any
 
 DIGEST_SIZE = 32
@@ -90,7 +91,31 @@ def _encode_bool(value: Any, out: bytearray, use_cache: bool) -> None:
     out += b"T" if value else b"F"
 
 
+#: encoded forms of recurring scalar values (sequence numbers, view numbers,
+#: replica/client names recur across millions of messages); capped so
+#: data-driven values cannot grow them without bound.  Keyed by the exact
+#: built-in value only — a subclass (e.g. an IntEnum) may stringify
+#: differently from the equal-hashing builtin, so it must never hit the memo.
+_INT_BYTES: dict[int, bytes] = {}
+_STR_BYTES: dict[str, bytes] = {}
+_SCALAR_BYTES_MAX = 8192
+
+
 def _encode_int(value: Any, out: bytearray, use_cache: bool) -> None:
+    if type(value) is int:
+        # try/except instead of .get: hits dominate after warmup and the
+        # subscript skips a bound-method call on every one of them.
+        try:
+            out += _INT_BYTES[value]
+            return
+        except KeyError:
+            pass
+        encoded = str(value).encode()
+        cached = b"i%d:" % len(encoded) + encoded
+        if len(_INT_BYTES) < _SCALAR_BYTES_MAX:
+            _INT_BYTES[value] = cached
+        out += cached
+        return
     encoded = str(value).encode()
     out += b"i%d:" % len(encoded) + encoded
 
@@ -101,6 +126,18 @@ def _encode_float(value: Any, out: bytearray, use_cache: bool) -> None:
 
 
 def _encode_str(value: Any, out: bytearray, use_cache: bool) -> None:
+    if type(value) is str:
+        try:
+            out += _STR_BYTES[value]
+            return
+        except KeyError:
+            pass
+        encoded = value.encode()
+        cached = b"s%d:" % len(encoded) + encoded
+        if len(_STR_BYTES) < _SCALAR_BYTES_MAX:
+            _STR_BYTES[value] = cached
+        out += cached
+        return
     encoded = value.encode()
     out += b"s%d:" % len(encoded) + encoded
 
@@ -263,6 +300,105 @@ def _encode_dataclass(value: Any, out: bytearray, use_cache: bool) -> None:
         out += name_bytes
         _encode(getattr(value, attr), out, use_cache)
     out += b"d"
+
+
+#: per-owner-class templates for fixed-key dict encoding: the key set of a
+#: message's ``signed_part()`` is a literal per class, so its sorted order
+#: and encoded key bytes are computed once per class instead of per call.
+_FIXED_KEY_TEMPLATES: dict[type, tuple[tuple[bytes, str], ...]] = {}
+
+
+def encode_fixed_key_dict(owner: type, part: dict) -> bytes:
+    """Canonical encoding of a dict whose string key set is fixed per class.
+
+    Byte-identical to ``canonical_bytes(part)`` — same ``M``/``m`` framing,
+    same sorted-key order — but the sort and the key encoding happen once
+    per ``owner`` class, not once per call.  This keeps the per-class
+    signed-part encode template hot: every signing and every cache-missing
+    verification of a message re-encodes the same key schema.
+
+    Falls back to :func:`canonical_bytes` whenever the dict does not match
+    the cached template (different size, missing key, non-string keys), so
+    an exotic ``signed_part()`` still encodes exactly as before.
+    """
+    template = _FIXED_KEY_TEMPLATES.get(owner)
+    if template is None or len(template) != len(part):
+        members = _sorted_members(part)
+        if not all(type(key) is str for key in members):
+            return canonical_bytes(part)
+        template = tuple(
+            (b"s%d:" % len(encoded) + encoded, key)
+            for key in members for encoded in (key.encode(),))
+        _FIXED_KEY_TEMPLATES[owner] = template
+    out = bytearray(b"M")
+    try:
+        for key_bytes, key in template:
+            out += key_bytes
+            _encode(part[key], out)
+    except KeyError:
+        # The key set drifted from the cached template (same size, different
+        # keys): re-learn it next call, encode generically this time.
+        del _FIXED_KEY_TEMPLATES[owner]
+        return canonical_bytes(part)
+    out += b"m"
+    return bytes(out)
+
+
+#: per-owner-class templates for fixed-attribute encoding: sorted key order,
+#: encoded key bytes and a bulk attrgetter, computed once per class.
+_FIXED_ATTR_TEMPLATES: dict[type, tuple[tuple[bytes, ...], Any]] = {}
+
+
+def encode_fixed_attrs(owner: type, names: tuple[str, ...],
+                       instance: Any) -> bytes:
+    """Canonical dict encoding of ``{name: getattr(instance, name)}``.
+
+    Byte-identical to ``canonical_bytes({n: getattr(instance, n) for n in
+    names})`` but never materialises the dict: the sorted-key template is
+    computed once per ``owner`` class and the attribute values are pulled
+    off the instance with one C-level ``attrgetter`` call.  For message
+    classes whose ``signed_part()`` is a plain projection of their fields,
+    this removes the per-call dict build from the signing/verification
+    hot path.
+    """
+    template = _FIXED_ATTR_TEMPLATES.get(owner)
+    if template is None:
+        ordered = sorted(names, key=repr)
+        key_bytes = tuple(b"s%d:" % len(encoded) + encoded
+                          for name in ordered
+                          for encoded in (name.encode(),))
+        getter = attrgetter(*ordered) if len(ordered) > 1 else None
+        template = (key_bytes, getter, tuple(ordered))
+        _FIXED_ATTR_TEMPLATES[owner] = template
+    key_bytes, getter, ordered = template
+    if getter is not None:
+        values = getter(instance)
+    else:
+        values = (getattr(instance, ordered[0]),)
+    out = bytearray(b"M")
+    for name_bytes, value in zip(key_bytes, values):
+        out += name_bytes
+        # Signed parts are almost exclusively ints (seqs, views, replica
+        # ids) and digests; encode those inline, one type check each,
+        # before falling back to the generic dispatch.
+        kind = type(value)
+        if kind is int:
+            try:
+                out += _INT_BYTES[value]
+                continue
+            except KeyError:
+                pass
+            encoded = str(value).encode()
+            cached = b"i%d:" % len(encoded) + encoded
+            if len(_INT_BYTES) < _SCALAR_BYTES_MAX:
+                _INT_BYTES[value] = cached
+            out += cached
+        elif kind is bytes:
+            out += b"b%d:" % len(value) + value
+        else:
+            _encode(value, out)
+    out += b"m"
+    return bytes(out)
 
 
 def pinned(instance: Any, attr: str, compute) -> Any:

@@ -50,19 +50,19 @@ class KeyValueStore(StateMachine):
         if action == "read":
             value = self._data.get(operation.key)
             if value is None:
-                return OperationResult(ok=False)
+                return _RESULT_MISSING
             return OperationResult(ok=True, value=value)
         if action in ("write", "insert"):
             self._data[operation.key] = operation.value
-            return OperationResult(ok=True)
+            return _RESULT_OK
         if action == "rmw":
             current = self._data.get(operation.key, "")
             updated = _merge(current, operation.value)
             self._data[operation.key] = updated
             return OperationResult(ok=True, value=updated)
         if action == "delete":
-            existed = self._data.pop(operation.key, None) is not None
-            return OperationResult(ok=existed)
+            return _RESULT_OK if self._data.pop(operation.key, None) is not None \
+                else _RESULT_MISSING
         return OperationResult(ok=False, value=f"unknown action {action!r}")
 
     # ------------------------------------------------------------ inspection
@@ -94,6 +94,12 @@ class KeyValueStore(StateMachine):
             h.update(b";")
         return h.digest()
 
+
+#: interned constant results: every successful write/insert (and most
+#: deletes) returns the same value, so sharing one immutable instance lets
+#: the canonical-encoding cache make repeated reply digests near-free.
+_RESULT_OK = OperationResult(ok=True)
+_RESULT_MISSING = OperationResult(ok=False)
 
 #: initial-store contents per ``(records, value_size)``; values are immutable
 #: strings, so sharing them across state machines is safe.

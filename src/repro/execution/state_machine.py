@@ -13,6 +13,8 @@ import abc
 from dataclasses import dataclass
 from typing import Any
 
+from ..crypto.digest import canonical_cacheable
+
 
 @dataclass(frozen=True)
 class Operation:
@@ -23,9 +25,15 @@ class Operation:
     value: str = ""
 
 
+@canonical_cacheable
 @dataclass(frozen=True)
 class OperationResult:
-    """The value returned to the client for one operation."""
+    """The value returned to the client for one operation.
+
+    Canonically cacheable: state machines intern their constant results
+    (every successful write is the same ``ok`` object), so the shared
+    instances are encoded once and reused across every reply digest.
+    """
 
     ok: bool
     value: str = ""

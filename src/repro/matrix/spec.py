@@ -29,6 +29,7 @@ from .cell import Cell
 if TYPE_CHECKING:
     from ..recovery.schedule import FaultSchedule
     from ..runtime.experiments import ExperimentScale
+    from ..workload.openloop import OpenLoopConfig
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,14 @@ class MatrixSpec:
     f_values: tuple[Optional[int], ...] = _UNSET
     shard_counts: tuple[Optional[int], ...] = _UNSET
     fault_plans: tuple[Optional[FaultPlan], ...] = _UNSET
+    #: open-loop offered rates (tx/s); sweeping this axis drives every cell
+    #: through the arrival engine instead of the closed loop, using
+    #: ``open_loop`` as the template (``None``: engine defaults).
+    arrival_rates_tx_s: tuple[Optional[float], ...] = _UNSET
+    #: template for open-loop cells; its ``arrival_rate_tx_s`` is replaced
+    #: by each swept rate.  Setting it without sweeping rates makes every
+    #: cell open-loop at the template's own rate.
+    open_loop: Optional["OpenLoopConfig"] = None
     #: sizing scale; ``None`` means the laptop-scale default
     #: (:data:`~repro.runtime.experiments.SMALL_SCALE`).
     scale: Optional["ExperimentScale"] = None
@@ -128,6 +137,14 @@ class MatrixSpec:
                     raise ConfigurationError(
                         f"matrix {self.name!r}: {axis} value {value!r} is not "
                         "a positive integer")
+        for rate in self.arrival_rates_tx_s:
+            if rate is not None and (not isinstance(rate, (int, float))
+                                     or rate <= 0):
+                raise ConfigurationError(
+                    f"matrix {self.name!r}: arrival_rates_tx_s value "
+                    f"{rate!r} is not a positive number")
+        if self.open_loop is not None:
+            self.open_loop.validate()
 
     def cells(self) -> list[Cell]:
         """Expand the axis product into fully-resolved cells."""
@@ -145,10 +162,11 @@ class MatrixSpec:
                         for f in self.f_values:
                             for shards in self.shard_counts:
                                 for plan in self.fault_plans:
-                                    cells.append(self._cell(
-                                        build_config, scale, protocol,
-                                        backend, clients, batch_size, f,
-                                        shards, plan))
+                                    for rate in self.arrival_rates_tx_s:
+                                        cells.append(self._cell(
+                                            build_config, scale, protocol,
+                                            backend, clients, batch_size, f,
+                                            shards, plan, rate))
         for cell in cells:
             content_hash = cell.content_hash
             if content_hash in seen:
@@ -160,12 +178,24 @@ class MatrixSpec:
         return cells
 
     def _cell(self, build_config, scale, protocol, backend, clients,
-              batch_size, f, shards, plan) -> Cell:
+              batch_size, f, shards, plan, rate=None) -> Cell:
         effective_f = scale.f if f is None else f
+        # Open-loop cells: the clients become the engine's request lanes,
+        # so their count is the template's admission limit, not an axis.
+        open_loop = None
+        if self.open_loop is not None or rate is not None:
+            from ..workload.openloop import OpenLoopConfig
+
+            template = (self.open_loop if self.open_loop is not None
+                        else OpenLoopConfig())
+            open_loop = (template if rate is None
+                         else replace(template, arrival_rate_tx_s=float(rate)))
         # Sharded cells keep the offered load per group constant, like the
         # scale-out figure: the client axis is read per shard.
         total_clients = clients
-        if shards is not None:
+        if open_loop is not None:
+            total_clients = open_loop.max_in_flight
+        elif shards is not None:
             per_shard = scale.num_clients if clients is None else clients
             total_clients = per_shard * shards
         config = build_config(protocol, scale, f=f,
@@ -178,7 +208,10 @@ class MatrixSpec:
                 config.experiment, max_sim_time_us=plan.end_s * 1_000_000.0))
         spec = DeploymentSpec(config, backend=backend,
                               num_shards=shards,
-                              fault_schedule=schedule)
+                              num_clients=(total_clients if shards is not None
+                                           and open_loop is not None else None),
+                              fault_schedule=schedule,
+                              open_loop=open_loop)
         axes: dict[str, object] = {}
         if self.client_counts != _UNSET:
             axes["clients"] = (scale.num_clients if clients is None
@@ -192,6 +225,8 @@ class MatrixSpec:
             axes["shards_axis"] = shards  # 'shards' itself comes from as_row()
         if self.fault_plans != _UNSET:
             axes["fault"] = "none" if plan is None else plan.name
+        if self.arrival_rates_tx_s != _UNSET and rate is not None:
+            axes["offered_tx_s"] = round(float(rate), 1)
         return Cell(spec=spec, axes=axes)
 
     def axis_names(self) -> tuple[str, ...]:
@@ -207,4 +242,6 @@ class MatrixSpec:
             names.append("shards_axis")
         if self.fault_plans != _UNSET:
             names.append("fault")
+        if self.arrival_rates_tx_s != _UNSET:
+            names.append("offered_tx_s")
         return tuple(names)

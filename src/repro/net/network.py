@@ -181,7 +181,10 @@ class Network:
         departure = now if earliest_departure is None else max(now, earliest_departure)
         stats = self.stats
         stats.messages_sent += 1
-        stats.record_type(payload)
+        # record_type(), inlined: one dict update per message adds up.
+        per_type = stats.per_type
+        key = type(payload).__name__
+        per_type[key] = per_type.get(key, 0) + 1
 
         extra_delay = 0.0
         if self._rules:
@@ -203,9 +206,8 @@ class Network:
         if self._jitter_fraction > 0:
             latency *= 1.0 + self._rng.random() * self._jitter_fraction
         delivered_at = departure + latency + extra_delay
-        envelope = Envelope(source=source, destination=destination,
-                            payload=payload, sent_at=departure,
-                            delivered_at=delivered_at)
+        envelope = Envelope(source, destination, payload, departure,
+                            delivered_at)
         target = self._nodes.get(destination)
         if target is None:
             self.stats.messages_dropped += 1
@@ -226,8 +228,13 @@ class Network:
         """Arrange for ``envelope`` to reach ``target`` at its delivery time."""
         # partial, not a lambda: in-flight deliveries must survive a deepcopy
         # of the deployment (warmed-snapshot reuse in recovery experiments).
-        self._sim.schedule_at(envelope.delivered_at,
-                              partial(self._deliver, target, envelope, context))
+        # Deliveries are never cancelled, so prefer the kernel's handle-free
+        # schedule_call fast path where the kernel offers one.
+        schedule = getattr(self._sim, "schedule_call", None)
+        if schedule is None:
+            schedule = self._sim.schedule_at
+        schedule(envelope.delivered_at,
+                 partial(self._deliver, target, envelope, context))
 
     def broadcast(self, source: str, destinations: Iterable[str], payload: object,
                   earliest_departure: Optional[Micros] = None,

@@ -10,7 +10,7 @@ preserve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..common.errors import ConfigurationError
 from ..common.types import Micros, ms
@@ -46,6 +46,11 @@ class Topology:
     regions: tuple[str, ...]
     assignment: dict[str, str]
     intra_region_latency_us: Micros
+    #: memoised (src, dst) -> latency; the node set and assignment are fixed
+    #: for a topology's lifetime and every consensus round re-asks the same
+    #: few hundred pairs, so the two region lookups are paid once per pair.
+    _pair_cache: dict[tuple[str, str], Micros] = field(
+        default_factory=dict, compare=False, repr=False)
 
     def region_of(self, node: str) -> str:
         """Region hosting ``node``; unknown nodes live in the first region."""
@@ -53,11 +58,17 @@ class Topology:
 
     def latency_us(self, src: str, dst: str) -> Micros:
         """One-way latency between two nodes."""
+        cached = self._pair_cache.get((src, dst))
+        if cached is not None:
+            return cached
         region_a = self.region_of(src)
         region_b = self.region_of(dst)
         if region_a == region_b:
-            return self.intra_region_latency_us
-        return region_latency_us(region_a, region_b)
+            latency = self.intra_region_latency_us
+        else:
+            latency = region_latency_us(region_a, region_b)
+        self._pair_cache[(src, dst)] = latency
+        return latency
 
 
 def region_latency_us(region_a: str, region_b: str) -> Micros:

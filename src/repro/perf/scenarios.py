@@ -41,8 +41,10 @@ from ..runtime.experiments import (
     run_point,
     run_sharded_point,
 )
+from ..runtime.spec import DeploymentSpec
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
+from ..workload.openloop import OpenLoopConfig, open_loop_row, run_open_loop
 
 
 @dataclass(frozen=True)
@@ -63,6 +65,41 @@ class RecoveryParams:
 
 
 @dataclass(frozen=True)
+class OpenLoopParams:
+    """Sizing of the open-loop overload/hotspot/diurnal scenarios.
+
+    ``offered_rates_tx_s`` should straddle the deployment's closed-loop
+    capacity so the overload sweep shows the whole goodput/latency knee:
+    below saturation, near it, and well past it (where admission shedding
+    and deadline abandonment take over).
+    """
+
+    #: logical user population (engine state stays O(max_in_flight)).
+    num_users: int = 1_000_000
+    #: request lanes (= admission limit = clients the deployment builds).
+    max_in_flight: int = 32
+    #: offered-load sweep of ``openloop_overload``: below the lane-admission
+    #: capacity (32 lanes / ~2.8 ms ≈ 11.4k tx/s at smoke), just past it,
+    #: and 2× past it, where shedding dominates and goodput plateaus.
+    offered_rates_tx_s: tuple[float, ...] = (2_000.0, 6_000.0,
+                                             12_000.0, 24_000.0)
+    #: run length per point.
+    duration_s: float = 0.25
+    #: per-request deadline (milliseconds).
+    deadline_ms: float = 25.0
+    #: keyspace size of the hotspot scenario: small enough that the Zipf
+    #: head concentrates on a handful of keys owned by one shard.
+    hotspot_records: int = 32
+    #: offered load of the hotspot scenario.
+    hotspot_rate_tx_s: float = 6_000.0
+    #: piecewise rate ramp of the diurnal scenario (duration s, multiplier).
+    diurnal_segments: tuple[tuple[float, float], ...] = (
+        (0.08, 0.5), (0.08, 1.5), (0.08, 3.0), (0.08, 1.0))
+    #: base rate the diurnal multipliers scale.
+    diurnal_rate_tx_s: float = 4_000.0
+
+
+@dataclass(frozen=True)
 class PerfScale:
     """Size knobs for one performance-scenario run."""
 
@@ -79,6 +116,8 @@ class PerfScale:
     recovery_protocols: tuple[str, ...]
     #: fault-timeline sizing of the ``recovery`` scenario.
     recovery: RecoveryParams
+    #: sizing of the open-loop scenarios (million-user arrival engine).
+    open_loop: OpenLoopParams = OpenLoopParams()
 
 
 _SMOKE_EXPERIMENT = ExperimentScale(
@@ -109,14 +148,24 @@ PERF_SCALES: dict[str, PerfScale] = {
         fig1_protocols=("pbft", "minbft", "minzz", "flexi-bft", "flexi-zz"),
         recovery_protocols=("minbft", "flexi-bft"),
         recovery=RecoveryParams(num_clients=32, crash_s=0.4, restart_s=0.7,
-                                end_s=1.3)),
+                                end_s=1.3),
+        open_loop=OpenLoopParams(
+            num_users=2_000_000, max_in_flight=64,
+            offered_rates_tx_s=(4_000.0, 12_000.0, 24_000.0),
+            duration_s=0.4, hotspot_rate_tx_s=12_000.0,
+            diurnal_rate_tx_s=8_000.0)),
     "large": PerfScale(
         name="large", experiment=_LARGE_EXPERIMENT, micro_ops=200_000,
         shard_counts=(1, 2, 4),
         fig1_protocols=("pbft", "minbft", "minzz", "flexi-bft", "flexi-zz"),
         recovery_protocols=("minbft", "minzz", "flexi-bft", "flexi-zz"),
         recovery=RecoveryParams(num_clients=40, crash_s=0.8, restart_s=1.4,
-                                end_s=2.6)),
+                                end_s=2.6),
+        open_loop=OpenLoopParams(
+            num_users=4_000_000, max_in_flight=96,
+            offered_rates_tx_s=(6_000.0, 18_000.0, 36_000.0),
+            duration_s=0.5, hotspot_rate_tx_s=18_000.0,
+            diurnal_rate_tx_s=12_000.0)),
     "wan": PerfScale(
         name="wan",
         experiment=_MEDIUM_EXPERIMENT,
@@ -177,6 +226,138 @@ def scenario_sharding_scaleout(scale: PerfScale) -> list[dict]:
             row = {"protocol": protocol}
             row.update(result.as_row())
             rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# open-loop scenarios (million-user arrival engine)
+# ---------------------------------------------------------------------------
+#: protocol the open-loop scenarios overload (the headline FlexiTrust one).
+_OPENLOOP_PROTOCOL = "flexi-bft"
+
+
+def _openloop_spec(scale: PerfScale, open_loop, *, num_shards=None,
+                   records=None) -> DeploymentSpec:
+    """A deployment spec sized for one open-loop point."""
+    from dataclasses import replace as _replace
+
+    config = build_config(_OPENLOOP_PROTOCOL, scale.experiment,
+                          num_clients=open_loop.max_in_flight)
+    if records is not None:
+        config = config.with_updates(
+            workload=_replace(config.workload, records=records))
+    num_clients = open_loop.max_in_flight if num_shards is not None else None
+    return DeploymentSpec(config, num_shards=num_shards,
+                          num_clients=num_clients, open_loop=open_loop)
+
+
+def _primary_utilisation(deployment) -> float:
+    """Worker-pool utilisation of the view-0 primary over the whole run."""
+    elapsed = deployment.sim.now
+    if elapsed <= 0:
+        return 0.0
+    workers = deployment.primary.workers
+    return workers.stats.utilisation(
+        elapsed, deployment.protocol_config.worker_threads)
+
+
+def scenario_openloop_overload(scale: PerfScale) -> list[dict]:
+    """Open-loop offered load swept past saturation: the goodput/latency knee.
+
+    Each point offers a fixed Poisson arrival rate from a million-user Zipf
+    population against a bounded lane pool; rows show goodput, latency,
+    admission shedding, deadline abandonment and how hot the primary's
+    worker pool ran.  Past the knee goodput plateaus at capacity while
+    offered load, shed fraction and tail latency keep climbing — the curve
+    a closed loop cannot draw.
+    """
+    params = scale.open_loop
+    rows = []
+    for rate in params.offered_rates_tx_s:
+        open_loop = OpenLoopConfig(
+            num_users=params.num_users, arrival_rate_tx_s=rate,
+            max_in_flight=params.max_in_flight,
+            deadline_us=params.deadline_ms * 1_000.0,
+            duration_s=params.duration_s)
+        deployment = _openloop_spec(scale, open_loop).build()
+        try:
+            engine, result = run_open_loop(deployment, open_loop)
+            # The million-user contract, enforced on every gated run: engine
+            # state is O(active requests) — free-lane stack + armed deadlines
+            # + the arrival/flip/boundary events — never O(num_users).
+            assert (engine.stats.peak_resident
+                    <= 2 * open_loop.max_in_flight + 3), (
+                f"open-loop resident state {engine.stats.peak_resident} "
+                f"exceeds the O(active) bound for "
+                f"{open_loop.max_in_flight} lanes")
+            row = {"protocol": _OPENLOOP_PROTOCOL}
+            row.update(open_loop_row(engine, result))
+            row["primary_utilisation"] = round(
+                _primary_utilisation(deployment), 4)
+        finally:
+            deployment.close()
+        rows.append(row)
+    return rows
+
+
+def scenario_openloop_hotspot(scale: PerfScale) -> list[dict]:
+    """Zipf-skewed open-loop load on a sharded deployment: one shard runs hot.
+
+    The user population is folded onto a deliberately small keyspace, so
+    the Zipf head lands on a handful of keys — and the router sends their
+    whole mass to the shards that own them.  The row pins the resulting
+    imbalance (``hot_shard_share``) alongside the usual open-loop columns.
+    """
+    params = scale.open_loop
+    num_shards = max(scale.shard_counts)
+    open_loop = OpenLoopConfig(
+        num_users=params.num_users,
+        arrival_rate_tx_s=params.hotspot_rate_tx_s,
+        user_theta=0.999, max_in_flight=params.max_in_flight,
+        deadline_us=params.deadline_ms * 1_000.0,
+        duration_s=params.duration_s)
+    spec = _openloop_spec(scale, open_loop, num_shards=num_shards,
+                          records=params.hotspot_records)
+    deployment = spec.build()
+    try:
+        engine, result = run_open_loop(deployment, open_loop)
+        row = {"protocol": _OPENLOOP_PROTOCOL, "shards": num_shards}
+        row.update(open_loop_row(engine, result))
+        completed = result.per_shard_completed
+        total = max(1, sum(completed.values()))
+        row["hot_shard_share"] = round(max(completed.values()) / total, 4)
+        for shard in sorted(completed):
+            row[f"shard{shard}_completed"] = completed[shard]
+    finally:
+        deployment.close()
+    return [row]
+
+
+def scenario_openloop_diurnal(scale: PerfScale) -> list[dict]:
+    """A piecewise diurnal ramp: overload only while the rate peaks.
+
+    One run whose arrival rate steps through the configured multipliers;
+    one row per segment (offered/admitted/shed/completed/abandoned deltas)
+    plus a whole-run summary row.
+    """
+    params = scale.open_loop
+    open_loop = OpenLoopConfig(
+        num_users=params.num_users,
+        arrival_rate_tx_s=params.diurnal_rate_tx_s,
+        max_in_flight=params.max_in_flight,
+        deadline_us=params.deadline_ms * 1_000.0,
+        segments=params.diurnal_segments)
+    deployment = _openloop_spec(scale, open_loop).build()
+    try:
+        engine, result = run_open_loop(deployment, open_loop)
+        rows = [dict(segment_row) for segment_row in engine.stats.segment_rows]
+        summary = {"protocol": _OPENLOOP_PROTOCOL, "segment": "all"}
+        summary.update(open_loop_row(engine, result))
+        summary["primary_utilisation"] = round(
+            _primary_utilisation(deployment), 4)
+        rows.append(summary)
+    finally:
+        deployment.close()
     return rows
 
 
@@ -574,6 +755,9 @@ SCENARIOS: dict[str, object] = {
     "fig1": scenario_fig1,
     "recovery": scenario_recovery,
     "sharding_scaleout": scenario_sharding_scaleout,
+    "openloop_overload": scenario_openloop_overload,
+    "openloop_hotspot": scenario_openloop_hotspot,
+    "openloop_diurnal": scenario_openloop_diurnal,
     "live_smoke": scenario_live_smoke,
     "live_fig1": scenario_live_fig1,
     "live_recovery": scenario_live_recovery,

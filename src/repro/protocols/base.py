@@ -71,14 +71,20 @@ from .messages import (
     Response,
     ViewChange,
     noop_batch,
+    sign_in_place,
     signed_part_bytes,
-    with_signature,
 )
 
 #: messages a recovering replica must not emit: it re-executes history during
 #: state transfer and may not influence live consensus until it has rejoined.
 _CONSENSUS_OUTBOUND = (PrePrepare, Prepare, Commit, Checkpoint, ViewChange,
                        NewView, CommitAck)
+
+#: execution-result digests memoised by value across all replicas (every
+#: replica of a correct deployment computes the same digest for the same
+#: outcome); capped so unbounded distinct results cannot grow it forever.
+_RESULT_DIGESTS: dict[tuple, bytes] = {}
+_RESULT_DIGESTS_MAX = 8192
 
 
 @dataclass
@@ -567,9 +573,16 @@ class BaseReplica:
             self._flush(output, tc_ops, durable_at, context)
 
     def signed(self, message):
-        """Return a copy of ``message`` carrying this replica's signature."""
+        """Sign a freshly constructed ``message`` with this replica's key.
+
+        Every call site passes a message literal built in the same
+        expression, so the signature is attached in place
+        (:func:`~repro.protocols.messages.sign_in_place`) instead of
+        cloning; use :func:`~repro.protocols.messages.with_signature` to
+        re-sign a message that may be shared.
+        """
         signature = self.key.sign_bytes(signed_part_bytes(message))
-        return with_signature(message, signature)
+        return sign_in_place(message, signature)
 
     # ----------------------------------------------------- client interaction
     def cached_reply(self, request_id: RequestId) -> Optional[Response]:
@@ -758,8 +771,8 @@ class BaseReplica:
         op_count = 0
         for request in batch.requests:
             self.proposed_requests.discard(request.request_id)
-            request_results = tuple(self.state_machine.apply(op)
-                                    for op in request.operations)
+            request_results = tuple([self.state_machine.apply(op)
+                                     for op in request.operations])
             op_count += len(request.operations)
             results.append(request_results[0])
             request_ids.append(str(request.request_id))
@@ -822,10 +835,19 @@ class BaseReplica:
                      speculative: bool) -> Optional[Response]:
         if request.client.startswith("__"):
             return None  # no-op filler batches have no client to answer
+        # Result digests repeat heavily — every replica computes the same
+        # digest for the same execution outcome, and write-dominated
+        # workloads produce one outcome over and over — so memoise by value
+        # (tuples of frozen dataclasses hash by value) with a bound.
+        result_digest = _RESULT_DIGESTS.get(results)
+        if result_digest is None:
+            result_digest = digest(results)
+            if len(_RESULT_DIGESTS) < _RESULT_DIGESTS_MAX:
+                _RESULT_DIGESTS[results] = result_digest
         response = Response(
             request_id=request.request_id, seq=seq, view=view,
             replica=self.replica_id, result=results[0],
-            result_digest=digest(results), speculative=speculative)
+            result_digest=result_digest, speculative=speculative)
         response = self.signed(response)
         self.reply_cache[request.request_id] = response
         latest = self.latest_reply.get(request.client)

@@ -18,11 +18,12 @@ from typing import Optional
 
 from ..common.types import ClientId, ReplicaId, RequestId, SeqNum, ViewNum
 from ..crypto.digest import (
-    canonical_bytes,
     canonical_cacheable,
     combine_digests,
     digest,
     drop_whole_value_caches,
+    encode_fixed_attrs,
+    encode_fixed_key_dict,
     pinned,
 )
 from ..crypto.signatures import Signature
@@ -40,9 +41,26 @@ def signed_part_bytes(message) -> bytes:
     the cache stays valid on signed copies produced by
     :func:`with_signature`, which is how the encoding computed at signing
     time reaches every verifier for free.
+
+    Cache misses encode through a per-class template, byte-identical to
+    ``canonical_bytes(message.signed_part())``.  Classes whose signed part
+    is a plain projection of their fields declare ``SIGNED_FIELDS`` and are
+    encoded straight off the instance
+    (:func:`~repro.crypto.digest.encode_fixed_attrs`) without materialising
+    the dict; classes with derived entries (digest tuples, computed
+    payloads) keep building the dict, encoded through the fixed-key
+    template (:func:`~repro.crypto.digest.encode_fixed_key_dict`).
     """
-    return pinned(message, "_signed_part_bytes",
-                  lambda: canonical_bytes(message.signed_part()))
+    cached = message.__dict__.get("_signed_part_bytes")
+    if cached is None:
+        cls = type(message)
+        names = cls.__dict__.get("SIGNED_FIELDS")
+        if names is not None:
+            cached = encode_fixed_attrs(cls, names, message)
+        else:
+            cached = encode_fixed_key_dict(cls, message.signed_part())
+        object.__setattr__(message, "_signed_part_bytes", cached)
+    return cached
 
 
 def with_signature(message, signature: Signature):
@@ -65,6 +83,23 @@ def with_signature(message, signature: Signature):
     state["signature"] = signature
     clone.__dict__.update(state)
     return clone
+
+
+def sign_in_place(message, signature: Signature):
+    """Attach ``signature`` to a freshly built, unshared message.
+
+    Same result as :func:`with_signature` but without the clone.  Only
+    valid when the caller constructed ``message`` in the same expression
+    and nothing else can hold a reference yet: mutating a message that has
+    been sent, stored, or encoded would desynchronise whole-value caches
+    and equality comparisons held elsewhere.  The message must not carry a
+    signature yet.
+    """
+    if "signature" not in type(message).__dataclass_fields__:
+        raise TypeError(
+            f"{type(message).__name__} has no 'signature' field to set")
+    object.__setattr__(message, "signature", signature)
+    return message
 
 
 # --------------------------------------------------------------------- client
@@ -131,6 +166,8 @@ class Response:
     speculative: bool = False
     signature: Optional[Signature] = None
 
+    SIGNED_FIELDS = ("request_id", "seq", "view", "result_digest")
+
     def signed_part(self) -> dict:
         return {"request_id": self.request_id, "seq": self.seq,
                 "view": self.view, "result_digest": self.result_digest}
@@ -164,6 +201,8 @@ class PrePrepare:
     attestation: Optional[Attestation] = None
     signature: Optional[Signature] = None
 
+    SIGNED_FIELDS = ("view", "seq", "batch_digest", "primary")
+
     def signed_part(self) -> dict:
         return {"view": self.view, "seq": self.seq,
                 "batch_digest": self.batch_digest, "primary": self.primary}
@@ -182,6 +221,8 @@ class Prepare:
     attestation: Optional[Attestation] = None
     signature: Optional[Signature] = None
 
+    SIGNED_FIELDS = ("view", "seq", "batch_digest", "replica")
+
     def signed_part(self) -> dict:
         return {"view": self.view, "seq": self.seq,
                 "batch_digest": self.batch_digest, "replica": self.replica}
@@ -199,6 +240,8 @@ class Commit:
     replica: ReplicaId
     attestation: Optional[Attestation] = None
     signature: Optional[Signature] = None
+
+    SIGNED_FIELDS = ("view", "seq", "batch_digest", "replica")
 
     def signed_part(self) -> dict:
         return {"view": self.view, "seq": self.seq,
@@ -238,6 +281,8 @@ class CommitAck:
     result_digest: bytes
     signature: Optional[Signature] = None
 
+    SIGNED_FIELDS = ("request_id", "seq", "view", "result_digest")
+
     def signed_part(self) -> dict:
         return {"request_id": self.request_id, "seq": self.seq,
                 "view": self.view, "result_digest": self.result_digest}
@@ -258,6 +303,8 @@ class Checkpoint:
     replica: ReplicaId
     attestation: Optional[Attestation] = None
     signature: Optional[Signature] = None
+
+    SIGNED_FIELDS = ("seq", "state_digest", "replica")
 
     def signed_part(self) -> dict:
         return {"seq": self.seq, "state_digest": self.state_digest,
@@ -328,6 +375,8 @@ class CheckpointRequest:
     round: int = 1
     signature: Optional[Signature] = None
 
+    SIGNED_FIELDS = ("replica", "last_executed", "round")
+
     def signed_part(self) -> dict:
         return {"replica": self.replica, "last_executed": self.last_executed,
                 "round": self.round}
@@ -355,6 +404,9 @@ class CheckpointReply:
     snapshot: Optional[object] = None
     certificate: tuple[Checkpoint, ...] = ()
     signature: Optional[Signature] = None
+
+    SIGNED_FIELDS = ("replica", "checkpoint_seq", "state_digest",
+                     "last_executed", "view")
 
     def signed_part(self) -> dict:
         return {"replica": self.replica, "checkpoint_seq": self.checkpoint_seq,

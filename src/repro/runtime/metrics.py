@@ -32,12 +32,30 @@ class CompletionRecord:
         return self.completed_at - self.submitted_at
 
 
+@dataclass(frozen=True, slots=True)
+class AbandonmentRecord:
+    """A request given up on before any reply quorum arrived.
+
+    Open-loop and overload runs need to distinguish "dropped at deadline /
+    shutdown" from "still in flight at the end of the run"; completions
+    alone cannot tell the two apart.
+    """
+
+    client: str
+    request_id: RequestId
+    submitted_at: Micros
+    abandoned_at: Micros
+    operations: int
+    reason: str
+
+
 @dataclass
 class MetricsCollector:
     """Accumulates client-side submission and completion events."""
 
     submissions: int = 0
     completions: list[CompletionRecord] = field(default_factory=list)
+    abandonments: list[AbandonmentRecord] = field(default_factory=list)
 
     # ------------------------------------------------------- sink interface
     def record_submission(self, client: str, request_id: RequestId,
@@ -51,11 +69,27 @@ class MetricsCollector:
             client=client, request_id=request_id, submitted_at=submitted_at,
             completed_at=completed_at, operations=operations))
 
+    def record_abandonment(self, client: str, request_id: RequestId,
+                           submitted_at: Micros, abandoned_at: Micros,
+                           operations: int, reason: str = "stopped") -> None:
+        self.abandonments.append(AbandonmentRecord(
+            client=client, request_id=request_id, submitted_at=submitted_at,
+            abandoned_at=abandoned_at, operations=operations, reason=reason))
+
     # ----------------------------------------------------------- inspection
     @property
     def completed_count(self) -> int:
         """Number of completed requests so far."""
         return len(self.completions)
+
+    @property
+    def abandoned_count(self) -> int:
+        """Number of requests abandoned before completion."""
+        return len(self.abandonments)
+
+    def in_flight(self) -> int:
+        """Submitted requests neither completed nor abandoned yet."""
+        return self.submissions - len(self.completions) - len(self.abandonments)
 
     def completed_operations(self) -> int:
         """Number of completed operations (requests × ops per request)."""

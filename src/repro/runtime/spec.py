@@ -28,6 +28,7 @@ from ..common.errors import ConfigurationError
 from ..crypto.digest import digest
 from ..obsv.health import ObservabilityConfig
 from ..recovery.schedule import FaultEvent, FaultSchedule
+from ..workload.openloop import OpenLoopConfig
 from .deployment import Deployment
 
 if TYPE_CHECKING:
@@ -94,6 +95,11 @@ class DeploymentSpec:
     #: stall threshold); ``None`` keeps everything off — the zero-overhead
     #: default whose simulated digests match pre-observability builds.
     observe: Optional[ObservabilityConfig] = None
+    #: when set, the deployment is driven by the open-loop arrival engine
+    #: instead of the clients' closed loops: ``config.workload.num_clients``
+    #: (or the sharded ``num_clients``) must equal ``open_loop.max_in_flight``
+    #: — the clients become the engine's request lanes.
+    open_loop: Optional[OpenLoopConfig] = None
 
     @property
     def sharded(self) -> bool:
@@ -102,6 +108,16 @@ class DeploymentSpec:
 
     def validate(self) -> None:
         """Reject combinations no build path accepts."""
+        if self.open_loop is not None:
+            self.open_loop.validate()
+            lanes = (self.num_clients if self.sharded and self.num_clients is not None
+                     else self.config.workload.num_clients)
+            if lanes != self.open_loop.max_in_flight:
+                raise ConfigurationError(
+                    f"open-loop spec wants max_in_flight="
+                    f"{self.open_loop.max_in_flight} lanes but builds "
+                    f"{lanes} clients; set workload.num_clients (or the "
+                    "sharded num_clients) to max_in_flight")
         if self.sharded and self.fault_schedule is not None:
             raise ConfigurationError(
                 "a sharded deployment takes per-group fault_schedules "
@@ -145,6 +161,8 @@ class DeploymentSpec:
             description["fault_schedules"] = {
                 shard: _describe_schedule(schedule)
                 for shard, schedule in self.fault_schedules.items()}
+        if self.open_loop is not None:
+            description["open_loop"] = self.open_loop
         return description
 
     def cell_hash(self) -> str:

@@ -73,7 +73,11 @@ class Simulator:
     _COMPACTION_FLOOR = 64
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        #: heap entries are ``(time, seq, event)`` tuples: heapq then compares
+        #: C-level tuples (seq is unique, so the event itself never compares)
+        #: instead of calling a Python-level ``Event.__lt__`` per sift step —
+        #: heap comparisons are a measurable slice of a deployment run.
+        self._queue: list[tuple[Micros, int, Event]] = []
         self._seq = itertools.count()
         self._now: Micros = 0.0
         self._events_processed = 0
@@ -113,8 +117,14 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify (heap order is preserved)."""
-        self._queue = [event for event in self._queue if not event.cancelled]
+        """Drop cancelled entries and re-heapify (heap order is preserved).
+
+        In place (slice assignment), never rebinding ``_queue``: the run
+        loop holds a local reference to the list across callbacks.
+        """
+        self._queue[:] = [entry for entry in self._queue
+                          if entry[2].__class__ is not Event
+                          or not entry[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_pending = 0
 
@@ -129,10 +139,27 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} us, clock already at {self._now} us")
-        event = Event(time=time, seq=next(self._seq), callback=callback,
-                      owner=self)
-        heapq.heappush(self._queue, event)
+        seq = next(self._seq)
+        # Positional construction: this runs once per scheduled event and the
+        # generated dataclass __init__ parses keywords measurably slower.
+        event = Event(time, seq, callback, False, self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
+
+    def schedule_call(self, time: Micros, callback: Callable[[], None]) -> None:
+        """Schedule a callback that will never be cancelled — no handle.
+
+        The bare callable goes straight onto the heap where an
+        :class:`Event` wrapper would sit; the run loop discriminates on the
+        entry's type.  Ordering is identical to :meth:`schedule_at` (same
+        ``(time, seq)`` key space), this only skips the per-event wrapper
+        allocation.  Network deliveries — the majority of all events in a
+        deployment run — take this path.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} us, clock already at {self._now} us")
+        heapq.heappush(self._queue, (time, next(self._seq), callback))
 
     def run(self, until: Optional[Micros] = None,
             max_events: Optional[int] = None,
@@ -151,27 +178,44 @@ class Simulator:
         if tracer is not None:
             tracer.record("kernel.run", node="sim")
         budget = max_events if max_events is not None else float("inf")
+        # The queue list object is stable for the simulator's lifetime
+        # (_compact filters it in place), so the loop can hold locals for
+        # the list and heappop instead of re-reading attributes per event.
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue and budget > 0:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
+            while queue and budget > 0:
+                entry = queue[0]
+                event = entry[2]
+                if event.__class__ is Event:
+                    if event.cancelled:
+                        heappop(queue)
+                        event.owner = None
+                        self._cancelled_pending -= 1
+                        continue
+                    if until is not None and event.time > until:
+                        self._now = until
+                        break
+                    heappop(queue)
                     event.owner = None
-                    self._cancelled_pending -= 1
-                    continue
-                if until is not None and event.time > until:
-                    self._now = until
-                    break
-                heapq.heappop(self._queue)
-                event.owner = None
-                self._now = event.time
-                event.callback()
+                    self._now = event.time
+                    callback = event.callback
+                else:
+                    # A bare schedule_call callback: never cancellable, its
+                    # time lives in the heap key.
+                    if until is not None and entry[0] > until:
+                        self._now = until
+                        break
+                    heappop(queue)
+                    self._now = entry[0]
+                    callback = event
+                callback()
                 self._events_processed += 1
                 budget -= 1
                 if stop_when is not None and stop_when():
                     break
             else:
-                if until is not None and not self._queue:
+                if until is not None and not queue:
                     # Idle until the requested horizon.
                     self._now = max(self._now, until)
         finally:

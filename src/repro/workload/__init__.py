@@ -1,6 +1,14 @@
-"""Workload generation (YCSB) and closed-loop clients."""
+"""Workload generation (YCSB), closed-loop clients and the open-loop engine."""
 
 from .client import Client, ClientStats, CompletionSink
+from .openloop import (
+    OpenLoopConfig,
+    OpenLoopEngine,
+    OpenLoopStats,
+    attach_open_loop,
+    open_loop_row,
+    run_open_loop,
+)
 from .sharded_client import ShardedClient, ShardedClientStats
 from .ycsb import YcsbWorkload, preload_operations
 from .zipf import ZipfianGenerator
@@ -9,9 +17,15 @@ __all__ = [
     "Client",
     "ClientStats",
     "CompletionSink",
+    "OpenLoopConfig",
+    "OpenLoopEngine",
+    "OpenLoopStats",
     "ShardedClient",
     "ShardedClientStats",
     "YcsbWorkload",
     "ZipfianGenerator",
+    "attach_open_loop",
+    "open_loop_row",
     "preload_operations",
+    "run_open_loop",
 ]

@@ -32,8 +32,8 @@ from ..protocols.messages import (
     CommitCertificate,
     ResendRequest,
     Response,
+    sign_in_place,
     signed_part_bytes,
-    with_signature,
 )
 from ..protocols.registry import ReplyPolicy
 from ..kernel import Kernel, Timer
@@ -49,6 +49,10 @@ class CompletionSink(Protocol):
     def record_completion(self, client: str, request_id: RequestId,
                           submitted_at: Micros, completed_at: Micros,
                           operations: int) -> None: ...
+
+    def record_abandonment(self, client: str, request_id: RequestId,
+                           submitted_at: Micros, abandoned_at: Micros,
+                           operations: int, reason: str = "stopped") -> None: ...
 
 
 @dataclass(slots=True)
@@ -118,9 +122,40 @@ class Client:
         self.sim.schedule(initial_delay_us, self._issue_next)
 
     def stop(self) -> None:
-        """Stop issuing new requests (outstanding ones are abandoned)."""
+        """Stop issuing new requests; an outstanding request is abandoned.
+
+        The abandonment is reported to the :class:`CompletionSink`, so a
+        request dropped at shutdown is distinguishable from one still in
+        flight when the run ended.
+        """
         self.active = False
+        self.abandon_pending(reason="stopped")
         self._timer.cancel()
+
+    def abandon_pending(self, reason: str = "abandoned") -> Optional[RequestId]:
+        """Drop the outstanding request (if any) and report the abandonment.
+
+        Frees the client to accept a new ``submit`` immediately — open-loop
+        lanes use this to enforce per-request deadlines without tearing the
+        lane down.  Returns the abandoned request id, or None if the client
+        had nothing outstanding.
+        """
+        pending = self._pending
+        if pending is None:
+            return None
+        self._pending = None
+        self._timer.cancel()
+        request_id = pending.request.request_id
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.record("req.abandon", node=self.name,
+                          detail=str(request_id))
+        if self.sink is not None:
+            record = getattr(self.sink, "record_abandonment", None)
+            if record is not None:
+                record(self.name, request_id, pending.submitted_at,
+                       self.sim.now, len(pending.request.operations), reason)
+        return request_id
 
     # -------------------------------------------------------------- issuing
     def _issue_next(self) -> None:
@@ -140,8 +175,7 @@ class Client:
         self._next_number += 1
         request_id = RequestId(client=self.name, number=self._next_number)
         request = ClientRequest(request_id=request_id, operations=operations)
-        request = with_signature(
-            request, self.key.sign_bytes(signed_part_bytes(request)))
+        sign_in_place(request, self.key.sign_bytes(signed_part_bytes(request)))
         self._pending = _PendingRequest(request=request, submitted_at=self.sim.now)
         self.stats.submitted += 1
         if self.sink is not None:

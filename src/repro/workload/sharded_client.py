@@ -20,6 +20,7 @@ from functools import partial
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from ..common.config import WorkloadConfig
+from ..common.errors import SimulationError
 from ..common.types import Micros, RequestId
 from ..crypto.keystore import KeyStore
 from ..kernel import Kernel
@@ -63,6 +64,11 @@ class ShardedClient:
         self.router = router
         self.stats = ShardedClientStats()
         self.active = True
+        #: when set, an external coordinator (e.g. the open-loop engine)
+        #: drives this client through :meth:`submit`: logical completions
+        #: are reported through the callback instead of immediately issuing
+        #: the next workload request.
+        self.on_complete = None
         self._global_sink = global_sink
         self._logical_number = 0
         self._outstanding: set[int] = set()
@@ -91,10 +97,38 @@ class ShardedClient:
         self.sim.schedule(initial_delay_us, self._issue_next)
 
     def stop(self) -> None:
-        """Stop issuing logical requests (outstanding ones are abandoned)."""
+        """Stop issuing logical requests; an outstanding one is abandoned.
+
+        The logical abandonment is reported to the global sink (and each
+        involved lane reports its sub-request to its shard sink), so a
+        cross-shard request dropped at shutdown is distinguishable from one
+        still in flight when the run ended.
+        """
         self.active = False
+        self.abandon_pending(reason="stopped")
         for lane in self.lanes:
             lane.stop()
+
+    def abandon_pending(self, reason: str = "abandoned") -> Optional[RequestId]:
+        """Drop the outstanding logical request and report the abandonment.
+
+        Abandons the sub-request on every shard still owing a response and
+        frees the client to accept a new :meth:`submit` immediately — the
+        open-loop engine uses this to enforce per-request deadlines.
+        Returns the logical request id, or None if nothing was outstanding.
+        """
+        if not self._outstanding:
+            return None
+        request_id = self._logical_request_id()
+        for shard in sorted(self._outstanding):
+            self.lanes[shard].abandon_pending(reason=reason)
+        self._outstanding = set()
+        if self._global_sink is not None:
+            record = getattr(self._global_sink, "record_abandonment", None)
+            if record is not None:
+                record(self.name, request_id, self._submitted_at,
+                       self.sim.now, self._op_count, reason)
+        return request_id
 
     # -------------------------------------------------------------- issuing
     def _issue_next(self) -> None:
@@ -102,6 +136,15 @@ class ShardedClient:
             return
         operations = tuple(self.workload.next_operations(
             self.workload_config.requests_per_client_message))
+        self.submit(operations)
+
+    def submit(self, operations: tuple) -> RequestId:
+        """Partition one logical request over the owning groups and send it."""
+        if self._outstanding:
+            raise SimulationError(
+                f"client {self.name!r} already has logical request "
+                f"{self._logical_request_id()} outstanding on shards "
+                f"{sorted(self._outstanding)}: one logical request at a time")
         by_shard = self.router.partition(operations)
         self._logical_number += 1
         self._outstanding = set(by_shard)
@@ -117,6 +160,7 @@ class ShardedClient:
                 len(operations))
         for shard in sorted(by_shard):
             self.lanes[shard].submit(tuple(by_shard[shard]))
+        return self._logical_request_id()
 
     def _logical_request_id(self) -> RequestId:
         return RequestId(client=self.name, number=self._logical_number)
@@ -134,7 +178,10 @@ class ShardedClient:
             self._global_sink.record_completion(
                 self.name, self._logical_request_id(), self._submitted_at,
                 self.sim.now, self._op_count)
-        self._issue_next()
+        if self.on_complete is not None:
+            self.on_complete()
+        else:
+            self._issue_next()
 
     # ----------------------------------------------------------- inspection
     @property

@@ -18,6 +18,7 @@ class SinkRecorder:
     def __init__(self):
         self.submissions = []
         self.completions = []
+        self.abandonments = []
 
     def record_submission(self, client, request_id, submitted_at, operations):
         self.submissions.append(request_id)
@@ -25,6 +26,10 @@ class SinkRecorder:
     def record_completion(self, client, request_id, submitted_at, completed_at,
                           operations):
         self.completions.append((request_id, completed_at - submitted_at))
+
+    def record_abandonment(self, client, request_id, submitted_at,
+                           abandoned_at, operations, reason="stopped"):
+        self.abandonments.append((request_id, reason))
 
 
 class ReplicaStub:
@@ -135,12 +140,85 @@ class TestClient:
         assert len(sink.completions) == 1
 
     def test_stop_halts_the_closed_loop(self):
-        sim, client, stubs, _ = build_client(ReplyPolicy(fast_quorum_rule="f+1"))
+        sim, client, stubs, sink = build_client(
+            ReplyPolicy(fast_quorum_rule="f+1"))
         client.start()
         sim.run(until=1_000.0)
-        client.stop()
         request_id = client.outstanding_request.request_id
+        client.stop()
+        # Stopping abandons the in-flight request and reports it: a request
+        # dropped at shutdown is not the same as one still in flight.
+        assert client.outstanding_request is None
+        assert sink.abandonments == [(request_id, "stopped")]
+        # A late quorum for the abandoned request is ignored.
         respond(sim, client, request_id, [0, 1])
-        assert client.stats.completed == 1
+        assert client.stats.completed == 0
         sim.run(until=5_000.0)
         assert client.stats.submitted == 1
+
+
+class TestAbandonment:
+    """Dropped-at-deadline / dropped-at-shutdown accounting (open-loop lanes)."""
+
+    def test_abandon_with_nothing_outstanding_returns_none(self):
+        _, client, _, sink = build_client(ReplyPolicy(fast_quorum_rule="f+1"))
+        assert client.abandon_pending() is None
+        assert sink.abandonments == []
+
+    def test_abandon_reports_reason_and_frees_the_client(self):
+        sim, client, _, sink = build_client(ReplyPolicy(fast_quorum_rule="f+1"))
+        client.start()
+        sim.run(until=1_000.0)
+        request_id = client.outstanding_request.request_id
+        assert client.abandon_pending(reason="deadline") == request_id
+        assert sink.abandonments == [(request_id, "deadline")]
+        assert client.outstanding_request is None
+        # The lane is immediately reusable: a fresh submit is accepted and
+        # a late quorum for the abandoned request stays ignored.
+        from repro.execution.state_machine import Operation
+
+        next_id = client.submit((Operation(action="read", key="user1"),))
+        respond(sim, client, request_id, [0, 1])
+        assert client.stats.completed == 0
+        respond(sim, client, next_id, [0, 1])
+        assert client.stats.completed == 1
+
+    def test_metrics_collector_separates_abandoned_from_in_flight(self):
+        from repro.runtime.metrics import MetricsCollector
+
+        sim, client, _, _ = build_client(ReplyPolicy(fast_quorum_rule="f+1"))
+        collector = MetricsCollector()
+        client.sink = collector
+        client.start()
+        sim.run(until=1_000.0)
+        assert collector.in_flight() == 1
+        client.stop()
+        assert collector.in_flight() == 0
+        assert collector.abandoned_count == 1
+        assert collector.abandonments[0].reason == "stopped"
+        assert collector.completed_count == 0
+
+    def test_sharded_client_stop_abandons_across_shards(self):
+        from repro.runtime.experiments import (ExperimentScale,
+                                               build_sharded_config)
+        from repro.sharding.deployment import build_sharded_deployment
+
+        scale = ExperimentScale(
+            name="abandon-test", f=1, num_clients=2, batch_size=4,
+            warmup_batches=1, measured_batches=2, worker_threads=4,
+            max_sim_seconds=10.0)
+        deployment = build_sharded_deployment(
+            build_sharded_config("minbft", scale, num_shards=2))
+        client = deployment.clients[0]
+        collector = deployment.metrics.global_collector
+        client.start()
+        deployment.sim.run(until=200.0)  # mid-flight: no quorum yet
+        assert collector.in_flight() >= 1
+        client.stop()
+        assert collector.abandoned_count == 1
+        assert collector.abandonments[0].reason == "stopped"
+        assert collector.abandonments[0].client == client.name
+        # Late shard-lane completions must not resurrect the request.
+        deployment.sim.run(until=2_000_000.0)
+        assert collector.abandoned_count == 1
+        assert collector.in_flight() == 0
